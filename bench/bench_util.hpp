@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks: run a
+ * configuration, collect its breakdown row and characterization, and
+ * snapshot MSHR occupancy distributions.
+ */
+
+#ifndef DBSIM_BENCH_BENCH_UTIL_HPP
+#define DBSIM_BENCH_BENCH_UTIL_HPP
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+
+namespace dbsim::bench {
+
+/** Everything a figure needs from one configuration run. */
+struct RunOut
+{
+    core::BreakdownRow row;
+    sim::RunResult result;
+    core::Characterization ch;
+    stats::OccupancyTracker l1d_occ{64};
+    stats::OccupancyTracker l1d_read_occ{64};
+    stats::OccupancyTracker l2_occ{64};
+    stats::OccupancyTracker l2_read_occ{64};
+    sim::NodeStats node0;
+    coher::FabricStats fabric;
+};
+
+/** Run @p cfg and collect results (label defaults to describe(cfg)). */
+inline RunOut
+runConfig(const core::SimConfig &cfg, std::string label = {})
+{
+    core::Simulation simulation(cfg);
+    RunOut out;
+    out.result = simulation.run();
+    out.ch = simulation.characterize();
+    out.row = core::BreakdownRow{
+        label.empty() ? core::describe(cfg) : std::move(label),
+        out.result.breakdown, out.result.instructions};
+    auto &n0 = simulation.system().node(0);
+    out.l1d_occ = n0.l1dMshrStats().occupancy;
+    out.l1d_read_occ = n0.l1dMshrStats().read_occupancy;
+    out.l2_occ = n0.l2MshrStats().occupancy;
+    out.l2_read_occ = n0.l2MshrStats().read_occupancy;
+    out.node0 = n0.stats();
+    out.fabric = simulation.system().fabric().stats();
+    return out;
+}
+
+/** Short bar label helper. */
+inline std::string
+barLabel(const std::string &s)
+{
+    return s;
+}
+
+} // namespace dbsim::bench
+
+#endif // DBSIM_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Workload characterization (paper section 3.1 text + section 4.2):
+ * cache local miss rates, IPC, branch misprediction, execution-time
+ * breakdown, dirty-miss fraction, and -- with --sharing -- the migratory
+ * characterization (fractions of shared writes / dirty reads that are
+ * migratory, and their concentration over lines and instructions).
+ *
+ * Paper reference points (base 4-way OOO, 4 nodes):
+ *   OLTP: L1I 7.6% / L1D 14.1% / L2 7.4% local miss rates, IPC ~0.5,
+ *         cumulative branch misprediction ~11%, dirty misses ~50% of L2
+ *         misses; 88% of shared writes and 79% of dirty reads migratory.
+ *   DSS : L1I ~0% / L1D 0.9% / L2 23.1%, IPC ~2.2.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+
+using namespace dbsim;
+
+namespace {
+
+void
+characterizeOne(core::WorkloadKind kind, bool sharing)
+{
+    core::SimConfig cfg = core::makeScaledConfig(kind);
+    core::printHeader(std::cout, std::string("Characterization: ") +
+                                     core::workloadName(kind));
+    std::cout << core::describe(cfg) << "\n\n";
+
+    core::Simulation simulation(cfg);
+    const sim::RunResult r = simulation.run();
+    const core::Characterization c = simulation.characterize();
+
+    std::cout << "instructions          " << r.instructions << "\n"
+              << "cycles                " << r.cycles << "\n"
+              << "IPC                   " << r.ipc << "\n"
+              << "L1I miss / fetch-line " << c.l1i_miss_per_fetch << "\n"
+              << "L1I MPKI              " << c.l1i_mpki << "\n"
+              << "L1D local miss rate   " << c.l1d_miss_rate << "\n"
+              << "L2  local miss rate   " << c.l2_miss_rate << "\n"
+              << "branch mispredicts    " << c.branch_mispredict_rate
+              << "\n"
+              << "iTLB miss rate        " << c.itlb_miss_rate << "\n"
+              << "dTLB miss rate        " << c.dtlb_miss_rate << "\n"
+              << "dirty / L2 misses     "
+              << (c.total_l2_misses ? double(c.dirty_misses) /
+                                          double(c.total_l2_misses)
+                                    : 0.0)
+              << "\n";
+
+    std::vector<core::BreakdownRow> rows;
+    rows.push_back({core::describe(cfg), r.breakdown, r.instructions});
+    std::cout << "\n";
+    core::printExecutionBars(std::cout, rows);
+    std::cout << "\n";
+    core::printReadStallBars(std::cout, rows);
+
+    if (sharing && kind == core::WorkloadKind::Oltp) {
+        const auto &mig = simulation.system().fabric().migratory();
+        const auto &ms = mig.stats();
+        core::printHeader(std::cout, "Migratory sharing (section 4.2)");
+        std::cout << "shared writes               " << ms.shared_writes
+                  << "\n"
+                  << "  migratory fraction        " << ms.writeFraction()
+                  << "  (paper: 0.88)\n"
+                  << "dirty reads                 " << ms.dirty_reads
+                  << "\n"
+                  << "  migratory fraction        "
+                  << ms.dirtyReadFraction() << "  (paper: 0.79)\n"
+                  << "migratory lines             " << mig.migratoryLines()
+                  << "\n"
+                  << "line concentration (70%)    "
+                  << mig.lineConcentration(0.70)
+                  << "  (paper: 0.03 of lines cover 70% of write misses)\n"
+                  << "PCs generating migratory    " << mig.migratoryPcs()
+                  << "\n"
+                  << "PC concentration (75%)      "
+                  << mig.pcConcentration(0.75)
+                  << "  (paper: <0.10 of instructions cover 75%)\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool sharing = false;
+    bool oltp_only = false, dss_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--sharing"))
+            sharing = true;
+        else if (!std::strcmp(argv[i], "--oltp"))
+            oltp_only = true;
+        else if (!std::strcmp(argv[i], "--dss"))
+            dss_only = true;
+    }
+
+    if (!dss_only)
+        characterizeOne(core::WorkloadKind::Oltp, sharing || !oltp_only);
+    if (!oltp_only)
+        characterizeOne(core::WorkloadKind::Dss, false);
+    return 0;
+}

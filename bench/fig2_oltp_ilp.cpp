@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 2: impact of ILP features on OLTP performance.
+ *
+ * Paper shape targets:
+ *  (a) out-of-order 4/8-way ~1.5x faster than in-order 1-way; in-order
+ *      gains level off at 2-way, out-of-order at 4-way;
+ *  (b) window-size gains level off beyond 64, mostly from the L2-hit
+ *      read component;
+ *  (c) two outstanding misses capture most of the benefit (frequent
+ *      load-to-load dependences);
+ *  (d)-(g) little read-miss overlap; occupancy driven by writes.
+ *
+ * Usage: fig2_oltp_ilp [--occupancy]
+ */
+
+#include <cstring>
+
+#include "ilp_figure.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const bool occ = argc > 1 && !std::strcmp(argv[1], "--occupancy");
+    dbsim::bench::runIlpFigure(dbsim::core::WorkloadKind::Oltp, occ);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 3: impact of ILP features on DSS performance, plus the
+ * functional-unit idealization of section 3.2.2.
+ *
+ * Paper shape targets:
+ *  (a) out-of-order + multiple issue ~2.6x over in-order single issue;
+ *      1->8-way: -32% in-order, -56% out-of-order;
+ *  (b) window gains level off beyond 32;
+ *  (c) benefits up to 4 outstanding misses, driven by write overlap;
+ *  (--funits) 16 ALUs + 16 AGUs give ~12% further improvement.
+ *
+ * Usage: fig3_dss_ilp [--occupancy] [--funits]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "ilp_figure.hpp"
+
+int
+main(int argc, char **argv)
+{
+    bool occ = false, funits = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--occupancy"))
+            occ = true;
+        if (!std::strcmp(argv[i], "--funits"))
+            funits = true;
+    }
+
+    using namespace dbsim;
+    if (funits) {
+        std::vector<core::BreakdownRow> rows;
+        core::SimConfig base = core::makeScaledConfig(core::WorkloadKind::Dss);
+        rows.push_back(bench::runConfig(base, "base (2 ALU/2 AGU)").row);
+        core::SimConfig wide = base;
+        wide.system.core.fu.int_alus = 16;
+        wide.system.core.fu.addr_units = 16;
+        rows.push_back(bench::runConfig(wide, "16 ALU / 16 AGU").row);
+        core::printHeader(std::cout,
+                          "section 3.2.2: DSS functional-unit scaling");
+        core::printExecutionBars(std::cout, rows);
+        return 0;
+    }
+
+    bench::runIlpFigure(core::WorkloadKind::Dss, occ);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 5: relative importance of execution-time components in
+ * uniprocessor versus multiprocessor systems, for OLTP and DSS.
+ *
+ * Paper shape targets: in the uniprocessor, OLTP's instruction stall is
+ * a larger share (no communication misses); the multiprocessor adds a
+ * larger read component for both workloads (dirty misses for OLTP).
+ * Bars are composition (percent of each system's own execution time).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace dbsim;
+
+    for (const auto kind :
+         {core::WorkloadKind::Oltp, core::WorkloadKind::Dss}) {
+        std::vector<core::BreakdownRow> rows;
+
+        core::SimConfig uni = core::makeScaledConfig(kind, 1);
+        rows.push_back(bench::runConfig(uni, "uniprocessor").row);
+
+        core::SimConfig mp = core::makeScaledConfig(kind, 4);
+        rows.push_back(bench::runConfig(mp, "multiprocessor(4)").row);
+
+        core::printHeader(std::cout,
+                          std::string("Figure 5: ") +
+                              core::workloadName(kind) +
+                              " composition (percent of own total)");
+        core::printCompositionBars(std::cout, rows);
+        std::cout << "\nread-stall magnification "
+                     "(normalized to uniprocessor total):\n";
+        core::printReadStallBars(std::cout, rows);
+    }
+    return 0;
+}

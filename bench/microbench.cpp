@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths:
+ * cache array lookups, MSHR file operations, branch prediction, trace
+ * generation, and end-to-end simulated instructions per wall second.
+ * These guard the simulator's performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "cpu/branch_predictor.hpp"
+#include "memory/cache.hpp"
+#include "memory/mshr.hpp"
+#include "sim/system.hpp"
+#include "workload/oltp_engine.hpp"
+
+using namespace dbsim;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheArray cache(512 * 1024, 4, 64);
+    Rng rng(7);
+    // Pre-fill.
+    for (int i = 0; i < 16384; ++i)
+        cache.insert(rng.below(1 << 24) * 64, mem::CoherState::Shared);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 24) * 64));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_MshrAllocDrain(benchmark::State &state)
+{
+    mem::MshrFile mshr(8);
+    Cycles now = 0;
+    for (auto _ : state) {
+        ++now;
+        mshr.drain(now);
+        mshr.allocate(now * 64, true, now, now + 100);
+    }
+}
+BENCHMARK(BM_MshrAllocDrain);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    cpu::BranchPredictor bp;
+    Rng rng(3);
+    trace::TraceRecord rec;
+    rec.op = trace::OpClass::BranchCond;
+    for (auto _ : state) {
+        rec.pc = 0x1000 + rng.below(4096) * 4;
+        rec.taken = rng.chance(0.7);
+        benchmark::DoNotOptimize(bp.predict(rec));
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_OltpTraceGen(benchmark::State &state)
+{
+    workload::OltpParams p;
+    p.num_procs = 1;
+    workload::OltpWorkload wl(p);
+    auto src = wl.makeProcess(0);
+    trace::TraceRecord rec;
+    for (auto _ : state) {
+        if (!src->next(rec))
+            state.SkipWithError("source exhausted");
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_OltpTraceGen);
+
+void
+BM_EndToEndOltp(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::SystemParams sp;
+        sp.num_nodes = 1;
+        sim::System sys(sp);
+        workload::OltpParams p;
+        p.num_procs = 2;
+        workload::OltpWorkload wl(p);
+        for (ProcId i = 0; i < 2; ++i)
+            sys.addProcess(wl.makeProcess(i), 0);
+        const auto res = sys.run(20000, 0);
+        benchmark::DoNotOptimize(res.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(res.instructions));
+    }
+}
+BENCHMARK(BM_EndToEndOltp)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

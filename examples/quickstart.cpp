@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: simulate the scaled OLTP workload on the base 4-node
+ * out-of-order machine and print the execution-time breakdown -- the
+ * smallest complete use of the library.
+ *
+ * Usage: quickstart [oltp|dss] [instructions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dbsim;
+
+    core::WorkloadKind kind = core::WorkloadKind::Oltp;
+    if (argc > 1 && std::string(argv[1]) == "dss")
+        kind = core::WorkloadKind::Dss;
+
+    core::SimConfig cfg = core::makeScaledConfig(kind);
+    if (argc > 2) {
+        cfg.total_instructions = std::strtoull(argv[2], nullptr, 10);
+        cfg.warmup_instructions = cfg.total_instructions / 5;
+    }
+
+    std::cout << "dbsim quickstart: " << core::describe(cfg) << "\n";
+
+    core::Simulation simulation(cfg);
+    const sim::RunResult r = simulation.run();
+
+    std::cout << "\ninstructions retired : " << r.instructions
+              << "\nsimulated cycles     : " << r.cycles
+              << "\nIPC (per processor)  : " << r.ipc << "\n";
+
+    std::cout << "\nexecution-time breakdown (cycles):\n"
+              << r.breakdown.toString();
+
+    const core::Characterization c = simulation.characterize();
+    std::cout << "\ncharacterization:"
+              << "\n  L1I miss / fetch    : " << c.l1i_miss_per_fetch
+              << "\n  L1I MPKI            : " << c.l1i_mpki
+              << "\n  L1D miss rate       : " << c.l1d_miss_rate
+              << "\n  L2 miss rate        : " << c.l2_miss_rate
+              << "\n  branch mispredicts  : " << c.branch_mispredict_rate
+              << "\n  dirty / L2 misses   : "
+              << (c.total_l2_misses
+                      ? double(c.dirty_misses) / double(c.total_l2_misses)
+                      : 0.0)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace dbsim {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Throw rather than exit so library users (and tests) can catch
+    // configuration errors.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "warn: " << msg << " (" << file << ":" << line << ")\n";
+}
+
+} // namespace dbsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated; this is a simulator bug.
+ * fatal()  -- the user asked for something impossible (bad configuration).
+ * warn()   -- something is off but the simulation can proceed.
+ */
+
+#ifndef DBSIM_COMMON_LOG_HPP
+#define DBSIM_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace dbsim {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+inline std::string
+formatParts()
+{
+    return {};
+}
+
+template <typename T, typename... Rest>
+std::string
+formatParts(const T &head, const Rest &...rest)
+{
+    std::ostringstream os;
+    os << head;
+    return os.str() + formatParts(rest...);
+}
+
+} // namespace detail
+} // namespace dbsim
+
+#define DBSIM_PANIC(...) \
+    ::dbsim::panicImpl(__FILE__, __LINE__, ::dbsim::detail::formatParts(__VA_ARGS__))
+
+#define DBSIM_FATAL(...) \
+    ::dbsim::fatalImpl(__FILE__, __LINE__, ::dbsim::detail::formatParts(__VA_ARGS__))
+
+#define DBSIM_WARN(...) \
+    ::dbsim::warnImpl(__FILE__, __LINE__, ::dbsim::detail::formatParts(__VA_ARGS__))
+
+/** Panic unless @p cond holds; used for internal simulator invariants. */
+#define DBSIM_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            DBSIM_PANIC("assertion failed: " #cond " ", __VA_ARGS__);        \
+        }                                                                    \
+    } while (0)
+
+#endif // DBSIM_COMMON_LOG_HPP

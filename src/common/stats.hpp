@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A small statistics package: counters, ratios, histograms, and
+ * occupancy distributions, with uniform text formatting.
+ *
+ * Components own their stats as plain members of these types; the system
+ * aggregates and prints them.  There is deliberately no global registry.
+ */
+
+#ifndef DBSIM_COMMON_STATS_HPP
+#define DBSIM_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dbsim::stats {
+
+/**
+ * A histogram over a fixed number of integer-indexed buckets with an
+ * overflow bucket.  Used e.g. for stream lengths and queue depths.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 16) : counts_(buckets + 1, 0) {}
+
+    void
+    sample(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        const std::size_t idx =
+            value >= counts_.size() - 1 ? counts_.size() - 1
+                                        : static_cast<std::size_t>(value);
+        counts_[idx] += weight;
+        total_ += weight;
+        sum_ += value * weight;
+    }
+
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ ? double(sum_) / double(total_) : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Fraction of samples with value >= i (for occupancy curves). */
+    double fracAtLeast(std::size_t i) const;
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = sum_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * Tracks, over simulated time, how many units of a resource are in use,
+ * and reports the distribution of occupancy conditioned on the resource
+ * being non-idle.  This is exactly the "MSHR occupancy distribution" of
+ * the paper's Figures 2(d)-(g): the fraction of non-idle time with at
+ * least n entries in use.
+ */
+class OccupancyTracker
+{
+  public:
+    explicit OccupancyTracker(std::uint32_t max_units = 8)
+        : time_at_(max_units + 1, 0) {}
+
+    /**
+     * Advance time to @p now (charging the elapsed interval to the
+     * occupancy level in effect since the last call), then set the
+     * occupancy to @p in_use.  Call on every occupancy change.
+     */
+    void
+    advance(Cycles now, std::uint32_t in_use)
+    {
+        if (now > last_) {
+            const Cycles dt = now - last_;
+            const std::size_t idx = current_ >= time_at_.size()
+                                        ? time_at_.size() - 1
+                                        : current_;
+            time_at_[idx] += dt;
+            last_ = now;
+        }
+        current_ = in_use;
+    }
+
+    std::uint32_t current() const { return current_; }
+
+    /** Total non-idle time (occupancy >= 1). */
+    Cycles busyTime() const;
+
+    /** Fraction of non-idle time with occupancy >= n. */
+    double fracAtLeast(std::uint32_t n) const;
+
+    void reset();
+
+  private:
+    std::vector<Cycles> time_at_;
+    Cycles last_ = 0;
+    std::uint32_t current_ = 0;
+};
+
+/** A named scalar for report tables. */
+struct NamedValue
+{
+    std::string name;
+    double value;
+};
+
+/** Render "name value" lines with aligned columns. */
+std::string formatTable(const std::vector<NamedValue> &rows);
+
+/** Percentage with one decimal, e.g. 12.3%. */
+std::string pct(double fraction);
+
+} // namespace dbsim::stats
+
+#endif // DBSIM_COMMON_STATS_HPP

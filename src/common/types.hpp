@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ */
+
+#ifndef DBSIM_COMMON_TYPES_HPP
+#define DBSIM_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace dbsim {
+
+/** Simulated time, measured in processor clock cycles (1 GHz base). */
+using Cycles = std::uint64_t;
+
+/** A virtual or physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a processor / node in the multiprocessor. */
+using CpuId = std::uint32_t;
+
+/** Identifier of a (server or daemon) process in the workload. */
+using ProcId = std::uint32_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = ~Addr{0};
+
+/** Sentinel cycle value meaning "never" / unscheduled. */
+inline constexpr Cycles kNever = ~Cycles{0};
+
+/**
+ * Align @p addr down to a power-of-two block of @p block_bytes.
+ */
+constexpr Addr
+blockAlign(Addr addr, std::uint32_t block_bytes)
+{
+    return addr & ~static_cast<Addr>(block_bytes - 1);
+}
+
+/** True iff @p x is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr std::uint32_t
+log2i(std::uint64_t x)
+{
+    std::uint32_t n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace dbsim
+
+#endif // DBSIM_COMMON_TYPES_HPP

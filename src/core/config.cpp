@@ -1,0 +1,112 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "cpu/consistency.hpp"
+
+namespace dbsim::core {
+
+const char *
+workloadName(WorkloadKind k)
+{
+    return k == WorkloadKind::Oltp ? "OLTP" : "DSS";
+}
+
+std::uint32_t
+SimConfig::procsPerCpu() const
+{
+    const std::uint32_t procs = workload == WorkloadKind::Oltp
+                                    ? oltp.num_procs
+                                    : dss.num_procs;
+    return procs / system.num_nodes;
+}
+
+SimConfig
+makeScaledConfig(WorkloadKind kind, std::uint32_t num_nodes)
+{
+    SimConfig cfg;
+    cfg.workload = kind;
+    cfg.system.num_nodes = num_nodes;
+
+    // Scaled memory hierarchy: 1/8 of the paper's sizes, same ratios.
+    cfg.system.node.l1i = {16 * 1024, 2, 64, 1, 8, 1};
+    cfg.system.node.l1d = {16 * 1024, 2, 64, 1, 8, 2};
+    cfg.system.node.l2 = {512 * 1024, 4, 64, 20, 8, 1};
+    cfg.system.node.page_bytes = 8192;
+    cfg.system.node.itlb_entries = 128;
+    cfg.system.node.dtlb_entries = 128;
+    cfg.system.page_bins = 16; // L2 page colors: 512K / (4 * 8K)
+
+    cfg.system.core = cpu::CoreParams{};
+    cfg.system.core.context_switch_cost = 300;
+
+    if (kind == WorkloadKind::Oltp) {
+        cfg.oltp.num_procs = 8 * num_nodes;
+        // Instruction footprint 70 KB (560 KB / 8): overwhelms the
+        // 16 KB L1I, fits the 512 KB L2 -- as in the paper.
+        cfg.oltp.sga.code_bytes = 70 * 1024;
+        cfg.oltp.sga.block_bytes = 2048;
+        cfg.oltp.sga.buffer_blocks = 8192; // 16 MB block buffer >> L2
+        cfg.oltp.sga.metadata_bytes = 2 << 20;
+        cfg.total_instructions = 2'000'000;
+        cfg.warmup_instructions = 400'000;
+    } else {
+        cfg.dss.num_procs = 4 * num_nodes;
+        cfg.dss.sga.code_bytes = 12 * 1024; // fits L1I
+        cfg.dss.table_bytes = 48ull << 20;
+        cfg.total_instructions = 2'000'000;
+        cfg.warmup_instructions = 400'000;
+    }
+    return cfg;
+}
+
+SimConfig
+makePaperScaleConfig(WorkloadKind kind, std::uint32_t num_nodes)
+{
+    SimConfig cfg = makeScaledConfig(kind, num_nodes);
+    cfg.system.node.l1i = {128 * 1024, 2, 64, 1, 8, 1};
+    cfg.system.node.l1d = {128 * 1024, 2, 64, 1, 8, 2};
+    cfg.system.node.l2 = {8 * 1024 * 1024, 4, 64, 20, 8, 1};
+    cfg.system.page_bins = 256;
+    if (kind == WorkloadKind::Oltp) {
+        cfg.oltp.sga.code_bytes = 560 * 1024;
+        cfg.oltp.sga.buffer_blocks = 65536; // 128 MB block buffer
+        cfg.oltp.sga.metadata_bytes = 16 << 20;
+    } else {
+        cfg.dss.table_bytes = 500ull << 20;
+        cfg.dss.sga.buffer_blocks = 262144;
+        cfg.dss.workarea_bytes = 768 * 1024;
+    }
+    cfg.total_instructions = 200'000'000;
+    cfg.warmup_instructions = 20'000'000;
+    return cfg;
+}
+
+std::string
+describe(const SimConfig &cfg)
+{
+    std::ostringstream os;
+    os << workloadName(cfg.workload) << " nodes=" << cfg.system.num_nodes
+       << " procs/cpu=" << cfg.procsPerCpu()
+       << (cfg.system.core.out_of_order ? " ooo" : " inorder")
+       << " width=" << cfg.system.core.issue_width
+       << " window=" << cfg.system.core.window_size
+       << " mshrs=" << cfg.system.node.l1d.mshrs
+       << " model=" << cpu::consistencyModelName(cfg.system.core.model);
+    if (cfg.system.core.cons.hw_prefetch)
+        os << "+pf";
+    if (cfg.system.core.cons.spec_loads)
+        os << "+spec";
+    if (cfg.system.node.stream_buffer_entries)
+        os << " sbuf=" << cfg.system.node.stream_buffer_entries;
+    if (cfg.hint_prefetch || cfg.hint_flush) {
+        os << " hints=";
+        if (cfg.hint_prefetch)
+            os << "P";
+        if (cfg.hint_flush)
+            os << "F";
+    }
+    return os.str();
+}
+
+} // namespace dbsim::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Top-level experiment configuration and presets.
+ *
+ * Two presets are provided:
+ *
+ *  - makeScaledConfig(): the repository default.  Cache sizes and
+ *    workload footprints are scaled down together (constant ratios)
+ *    so that the miss-class structure of the paper's configuration is
+ *    preserved while runs complete in seconds.  All benchmarks use it.
+ *
+ *  - makePaperScaleConfig(): the literal Figure-1 parameters (128 KB
+ *    L1s, 8 MB L2, 200M-instruction budgets).  Provided for
+ *    completeness; runs take correspondingly longer.
+ */
+
+#ifndef DBSIM_CORE_CONFIG_HPP
+#define DBSIM_CORE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/system.hpp"
+#include "workload/dss_engine.hpp"
+#include "workload/oltp_engine.hpp"
+
+namespace dbsim::core {
+
+/** Which database workload to run. */
+enum class WorkloadKind { Oltp, Dss };
+
+const char *workloadName(WorkloadKind k);
+
+/** Everything needed to run one experiment. */
+struct SimConfig
+{
+    sim::SystemParams system;
+    WorkloadKind workload = WorkloadKind::Oltp;
+    workload::OltpParams oltp;
+    workload::DssParams dss;
+
+    /** Software-hint insertion (paper section 4.2). */
+    bool hint_prefetch = false;
+    bool hint_flush = false;
+    bool hints_hot_locks_only = true;
+
+    std::uint64_t total_instructions = 2'000'000;
+    std::uint64_t warmup_instructions = 400'000;
+
+    /** Processes per CPU (8 for OLTP, 4 for DSS in the paper). */
+    std::uint32_t procsPerCpu() const;
+};
+
+/** Scaled default configuration (see DESIGN.md scaling table). */
+SimConfig makeScaledConfig(WorkloadKind kind, std::uint32_t num_nodes = 4);
+
+/** The paper's Figure-1 parameters, unscaled. */
+SimConfig makePaperScaleConfig(WorkloadKind kind,
+                               std::uint32_t num_nodes = 4);
+
+/** One-line summary of the key parameters (for bench headers). */
+std::string describe(const SimConfig &cfg);
+
+} // namespace dbsim::core
+
+#endif // DBSIM_CORE_CONFIG_HPP

@@ -1,0 +1,122 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace dbsim::core {
+
+using sim::StallCat;
+
+namespace {
+
+double
+cpi(const BreakdownRow &r, double component)
+{
+    return r.instructions
+               ? component / static_cast<double>(r.instructions)
+               : 0.0;
+}
+
+} // namespace
+
+void
+printHeader(std::ostream &os, const std::string &title)
+{
+    os << '\n' << title << '\n'
+       << std::string(std::max<std::size_t>(title.size(), 8), '-') << '\n';
+}
+
+void
+printExecutionBars(std::ostream &os, const std::vector<BreakdownRow> &rows)
+{
+    if (rows.empty())
+        return;
+    const double base = cpi(rows.front(), rows.front().breakdown.total());
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-34s %7s | %6s %6s %6s %6s %6s\n",
+                  "config", "total", "cpu", "read", "write", "sync",
+                  "instr");
+    os << buf;
+    for (const auto &r : rows) {
+        const auto &b = r.breakdown;
+        auto n = [&](double c) {
+            return base > 0.0 ? 100.0 * cpi(r, c) / base : 0.0;
+        };
+        std::snprintf(buf, sizeof(buf),
+                      "%-34s %7.1f | %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+                      r.label.c_str(), n(b.total()), n(b.cpu()), n(b.read()),
+                      n(b[StallCat::Write]), n(b[StallCat::Sync]),
+                      n(b.instr()));
+        os << buf;
+    }
+}
+
+void
+printCompositionBars(std::ostream &os,
+                     const std::vector<BreakdownRow> &rows)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-34s %7s | %6s %6s %6s %6s %6s\n",
+                  "config", "total", "cpu", "read", "write", "sync",
+                  "instr");
+    os << buf;
+    for (const auto &r : rows) {
+        const auto &b = r.breakdown;
+        const double t = b.total();
+        auto n = [&](double c) { return t > 0.0 ? 100.0 * c / t : 0.0; };
+        std::snprintf(buf, sizeof(buf),
+                      "%-34s %7.1f | %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+                      r.label.c_str(), 100.0, n(b.cpu()), n(b.read()),
+                      n(b[StallCat::Write]), n(b[StallCat::Sync]),
+                      n(b.instr()));
+        os << buf;
+    }
+}
+
+void
+printReadStallBars(std::ostream &os, const std::vector<BreakdownRow> &rows)
+{
+    if (rows.empty())
+        return;
+    const double base = cpi(rows.front(), rows.front().breakdown.total());
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-34s %7s | %6s %6s %6s %6s %6s %6s\n", "config",
+                  "read", "L1+msc", "L2", "local", "remote", "dirty",
+                  "dTLB");
+    os << buf;
+    for (const auto &r : rows) {
+        const auto &b = r.breakdown;
+        auto n = [&](double c) {
+            return base > 0.0 ? 100.0 * cpi(r, c) / base : 0.0;
+        };
+        std::snprintf(buf, sizeof(buf),
+                      "%-34s %7.1f | %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+                      r.label.c_str(), n(b.read()), n(b[StallCat::ReadL1]),
+                      n(b[StallCat::ReadL2]), n(b[StallCat::ReadLocal]),
+                      n(b[StallCat::ReadRemote]), n(b[StallCat::ReadDirty]),
+                      n(b[StallCat::ReadDtlb]));
+        os << buf;
+    }
+}
+
+void
+printOccupancy(std::ostream &os, const std::string &label,
+               const stats::OccupancyTracker &occ, std::uint32_t max_n)
+{
+    os << label << ": fraction of non-idle time with >= n in use\n   n:";
+    char buf[64];
+    for (std::uint32_t n = 1; n <= max_n; ++n) {
+        std::snprintf(buf, sizeof(buf), " %6u", n);
+        os << buf;
+    }
+    os << "\n    ";
+    for (std::uint32_t n = 1; n <= max_n; ++n) {
+        std::snprintf(buf, sizeof(buf), " %6.3f", occ.fracAtLeast(n));
+        os << buf;
+    }
+    os << '\n';
+}
+
+} // namespace dbsim::core

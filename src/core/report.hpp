@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Text reporting of benchmark results in the paper's format:
+ * execution-time bars broken down into busy / stall components,
+ * normalized to a baseline configuration, plus magnified read-stall
+ * breakdowns and MSHR occupancy series.
+ */
+
+#ifndef DBSIM_CORE_REPORT_HPP
+#define DBSIM_CORE_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/breakdown.hpp"
+
+namespace dbsim::core {
+
+/** One bar of a figure. */
+struct BreakdownRow
+{
+    std::string label;
+    sim::Breakdown breakdown;       ///< component cycles of the window
+    std::uint64_t instructions = 0; ///< retired in the window
+};
+
+/**
+ * Print a table like the paper's execution-time figures: one row per
+ * configuration, components as percentages of the first row's
+ * cycles-per-instruction (the baseline bar = 100).
+ *
+ * Columns: total | CPU (busy+FU) | read | write | sync | instr.
+ */
+void printExecutionBars(std::ostream &os,
+                        const std::vector<BreakdownRow> &rows);
+
+/**
+ * Print each row's components as percentages of that row's own total
+ * (used by Figure 5's uniprocessor-vs-multiprocessor composition
+ * comparison, where absolute times are not comparable).
+ */
+void printCompositionBars(std::ostream &os,
+                          const std::vector<BreakdownRow> &rows);
+
+/**
+ * Print the magnified read-stall breakdown (paper figures 2(b)-(c)
+ * right-hand graphs): L1+misc / L2 / local / remote / dirty / dTLB
+ * components normalized to the first row's total execution time = 100.
+ */
+void printReadStallBars(std::ostream &os,
+                        const std::vector<BreakdownRow> &rows);
+
+/**
+ * Print an MSHR occupancy distribution (paper figures 2(d)-(g)): the
+ * fraction of non-idle time with at least n MSHRs in use.
+ */
+void printOccupancy(std::ostream &os, const std::string &label,
+                    const stats::OccupancyTracker &occ,
+                    std::uint32_t max_n);
+
+/** Section header helper. */
+void printHeader(std::ostream &os, const std::string &title);
+
+} // namespace dbsim::core
+
+#endif // DBSIM_CORE_REPORT_HPP

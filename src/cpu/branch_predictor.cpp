@@ -1,0 +1,169 @@
+#include "cpu/branch_predictor.hpp"
+
+#include "common/log.hpp"
+
+namespace dbsim::cpu {
+
+BranchPredictor::BranchPredictor(const BranchPredParams &params) : p_(params)
+{
+    if (!isPow2(p_.pa_entries) || !isPow2(p_.chooser_entries) ||
+        !isPow2(p_.btb_entries)) {
+        DBSIM_FATAL("branch predictor table sizes must be powers of two");
+    }
+    local_hist_.assign(p_.pa_entries, 0);
+    local_pht_.assign(std::size_t{1} << p_.pa_hist_bits, 2);
+    global_pht_.assign(std::size_t{1} << p_.g_pht_bits, 2);
+    chooser_.assign(p_.chooser_entries, 2);
+    btb_.assign(p_.btb_entries, BtbWay{});
+    ras_.assign(p_.ras_entries, 0);
+}
+
+bool
+BranchPredictor::predictConditional(Addr pc, bool taken)
+{
+    // Per-address (PA) component.
+    const std::uint32_t lh_idx =
+        static_cast<std::uint32_t>((pc >> 2) & (p_.pa_entries - 1));
+    const std::uint16_t lhist =
+        local_hist_[lh_idx] & ((1u << p_.pa_hist_bits) - 1);
+    const bool local_pred = local_pht_[lhist] >= 2;
+
+    // Global (g) component: gshare-style index.
+    const std::uint32_t g_idx = static_cast<std::uint32_t>(
+        (ghr_ ^ (pc >> 2)) & ((1u << p_.g_pht_bits) - 1));
+    const bool global_pred = global_pht_[g_idx] >= 2;
+
+    // Chooser.
+    const std::uint32_t c_idx =
+        static_cast<std::uint32_t>((pc >> 2) & (p_.chooser_entries - 1));
+    const bool use_global = chooser_[c_idx] >= 2;
+    const bool pred = use_global ? global_pred : local_pred;
+
+    // Updates: components train on the outcome; the chooser trains
+    // toward whichever component was right (when they disagree).
+    if (local_pred != global_pred)
+        updateCounter(chooser_[c_idx], global_pred == taken);
+    updateCounter(local_pht_[lhist], taken);
+    updateCounter(global_pht_[g_idx], taken);
+    local_hist_[lh_idx] = static_cast<std::uint16_t>(
+        ((lhist << 1) | (taken ? 1 : 0)) & ((1u << p_.pa_hist_bits) - 1));
+    ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & ((1u << p_.g_hist_bits) - 1);
+
+    return pred == taken;
+}
+
+bool
+BranchPredictor::btbLookup(Addr pc, Addr target)
+{
+    const std::uint32_t sets = p_.btb_entries / p_.btb_assoc;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((pc >> 2) & (sets - 1));
+    BtbWay *ways = &btb_[static_cast<std::size_t>(set) * p_.btb_assoc];
+    for (std::uint32_t w = 0; w < p_.btb_assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == pc) {
+            ways[w].lru = ++btb_stamp_;
+            return ways[w].target == target;
+        }
+    }
+    return false;
+}
+
+void
+BranchPredictor::btbUpdate(Addr pc, Addr target)
+{
+    const std::uint32_t sets = p_.btb_entries / p_.btb_assoc;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((pc >> 2) & (sets - 1));
+    BtbWay *ways = &btb_[static_cast<std::size_t>(set) * p_.btb_assoc];
+    BtbWay *victim = &ways[0];
+    for (std::uint32_t w = 0; w < p_.btb_assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == pc) {
+            victim = &ways[w];
+            break;
+        }
+        if (!ways[w].valid) {
+            victim = &ways[w];
+            break;
+        }
+        if (ways[w].lru < victim->lru)
+            victim = &ways[w];
+    }
+    victim->tag = pc;
+    victim->target = target;
+    victim->valid = true;
+    victim->lru = ++btb_stamp_;
+}
+
+bool
+BranchPredictor::predictIndirect(Addr pc, Addr target, bool is_call)
+{
+    const bool hit = btbLookup(pc, target);
+    btbUpdate(pc, target);
+    if (is_call) {
+        // Push the (synthetic) return address.
+        ras_[ras_top_] = pc + 4;
+        ras_top_ = (ras_top_ + 1) % p_.ras_entries;
+        if (ras_count_ < p_.ras_entries)
+            ++ras_count_;
+    }
+    return hit;
+}
+
+bool
+BranchPredictor::predictReturn(Addr target)
+{
+    if (ras_count_ == 0)
+        return false;
+    ras_top_ = (ras_top_ + p_.ras_entries - 1) % p_.ras_entries;
+    --ras_count_;
+    return ras_[ras_top_] == target;
+}
+
+bool
+BranchPredictor::predict(const trace::TraceRecord &rec)
+{
+    using trace::OpClass;
+    if (p_.perfect) {
+        switch (rec.op) {
+          case OpClass::BranchCond: ++stats_.cond_lookups; break;
+          case OpClass::BranchJmp:
+          case OpClass::BranchCall: ++stats_.jmp_lookups; break;
+          case OpClass::BranchRet:  ++stats_.ret_lookups; break;
+          default: DBSIM_PANIC("predict() on non-branch");
+        }
+        return true;
+    }
+
+    bool correct = false;
+    switch (rec.op) {
+      case OpClass::BranchCond:
+        ++stats_.cond_lookups;
+        correct = predictConditional(rec.pc, rec.taken);
+        if (!correct)
+            ++stats_.cond_mispredicts;
+        break;
+      case OpClass::BranchJmp:
+        ++stats_.jmp_lookups;
+        correct = predictIndirect(rec.pc, rec.extra, false);
+        if (!correct)
+            ++stats_.jmp_mispredicts;
+        break;
+      case OpClass::BranchCall:
+        ++stats_.jmp_lookups;
+        correct = predictIndirect(rec.pc, rec.extra, true);
+        if (!correct)
+            ++stats_.jmp_mispredicts;
+        break;
+      case OpClass::BranchRet:
+        ++stats_.ret_lookups;
+        correct = predictReturn(rec.extra);
+        if (!correct)
+            ++stats_.ret_mispredicts;
+        break;
+      default:
+        DBSIM_PANIC("predict() on non-branch record");
+    }
+    return correct;
+}
+
+} // namespace dbsim::cpu

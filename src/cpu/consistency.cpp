@@ -1,0 +1,16 @@
+#include "cpu/consistency.hpp"
+
+namespace dbsim::cpu {
+
+const char *
+consistencyModelName(ConsistencyModel m)
+{
+    switch (m) {
+      case ConsistencyModel::SC: return "SC";
+      case ConsistencyModel::PC: return "PC";
+      case ConsistencyModel::RC: return "RC";
+    }
+    return "?";
+}
+
+} // namespace dbsim::cpu

@@ -1,0 +1,15 @@
+#include "cpu/inorder_core.hpp"
+
+#include <algorithm>
+
+namespace dbsim::cpu {
+
+CoreParams
+makeInOrderParams(CoreParams base)
+{
+    base.out_of_order = false;
+    base.window_size = std::max<std::uint32_t>(8, 2 * base.issue_width);
+    return base;
+}
+
+} // namespace dbsim::cpu

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Configuration helpers for the in-order processor model.
+ *
+ * The in-order and out-of-order models share one pipeline implementation
+ * (cpu::Core); the in-order flavor restricts issue to strict program
+ * order, stalling at the first instruction whose operands are not ready
+ * (paper section 3.1), and uses a small fetch buffer in place of the
+ * instruction window.
+ */
+
+#ifndef DBSIM_CPU_INORDER_CORE_HPP
+#define DBSIM_CPU_INORDER_CORE_HPP
+
+#include "cpu/ooo_core.hpp"
+
+namespace dbsim::cpu {
+
+/**
+ * Derive in-order core parameters from a base configuration: disables
+ * out-of-order issue and sizes the fetch buffer to twice the issue
+ * width (minimum 8), keeping all other parameters (caches, predictor,
+ * consistency model) unchanged.
+ */
+CoreParams makeInOrderParams(CoreParams base);
+
+} // namespace dbsim::cpu
+
+#endif // DBSIM_CPU_INORDER_CORE_HPP

@@ -1,0 +1,78 @@
+#include "interconnect/network.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace dbsim::net {
+
+Mesh::Mesh(std::uint32_t num_nodes, MeshParams params)
+    : num_nodes_(num_nodes), params_(params)
+{
+    if (num_nodes == 0)
+        DBSIM_FATAL("mesh needs at least one node");
+    // Most-square grid: width = ceil(sqrt(n)).
+    width_ = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    height_ = (num_nodes + width_ - 1) / width_;
+    grid_ = width_ * height_;
+    links_.resize(static_cast<std::size_t>(grid_) * grid_);
+}
+
+std::uint32_t
+Mesh::hops(std::uint32_t src, std::uint32_t dst) const
+{
+    DBSIM_ASSERT(src < num_nodes_ && dst < num_nodes_, "bad node id");
+    const auto dx = xOf(src) > xOf(dst) ? xOf(src) - xOf(dst)
+                                        : xOf(dst) - xOf(src);
+    const auto dy = yOf(src) > yOf(dst) ? yOf(src) - yOf(dst)
+                                        : yOf(dst) - yOf(src);
+    return dx + dy;
+}
+
+Resource &
+Mesh::link(std::uint32_t from, std::uint32_t to)
+{
+    DBSIM_ASSERT(from < grid_ && to < grid_, "link index out of grid");
+    return links_[static_cast<std::size_t>(from) * grid_ + to];
+}
+
+Cycles
+Mesh::transfer(std::uint32_t src, std::uint32_t dst, std::uint32_t flits,
+               Cycles start)
+{
+    DBSIM_ASSERT(src < num_nodes_ && dst < num_nodes_, "bad node id");
+    if (src == dst)
+        return start; // local, no network traversal
+
+    Cycles t = start + params_.inject_delay;
+
+    // Dimension-order route: X first, then Y.
+    std::uint32_t cur = src;
+    while (cur != dst) {
+        std::uint32_t next;
+        if (xOf(cur) != xOf(dst)) {
+            next = xOf(cur) < xOf(dst) ? cur + 1 : cur - 1;
+        } else {
+            next = yOf(cur) < yOf(dst) ? cur + width_ : cur - width_;
+        }
+        // Header traverses router + wire; body flits pipeline behind it.
+        // The link is held for the full flit count (wormhole channel
+        // occupancy).
+        const Cycles hop_latency = params_.router_delay + params_.wire_delay;
+        t = link(cur, next).acquire(t, flits) - flits + hop_latency + flits;
+        cur = next;
+    }
+    return t + params_.inject_delay;
+}
+
+Cycles
+Mesh::totalLinkWait() const
+{
+    Cycles w = 0;
+    for (const auto &l : links_)
+        w += l.totalWait();
+    return w;
+}
+
+} // namespace dbsim::net

@@ -1,0 +1,93 @@
+#include "memory/stream_buffer.hpp"
+
+#include "common/log.hpp"
+
+namespace dbsim::mem {
+
+StreamBuffer::StreamBuffer(std::uint32_t entries, std::uint32_t line_bytes)
+    : entries_(entries), line_bytes_(line_bytes)
+{
+    if (!isPow2(line_bytes))
+        DBSIM_FATAL("stream buffer line size must be a power of two");
+    fifo_.resize(entries_);
+}
+
+void
+StreamBuffer::flushAll()
+{
+    bool any = false;
+    for (auto &e : fifo_) {
+        if (e.valid) {
+            ++stats_.useless;
+            any = true;
+        }
+        e = Entry{};
+    }
+    if (any)
+        ++stats_.flushes;
+}
+
+bool
+StreamBuffer::probe(Addr block, Cycles now, Cycles &ready_out,
+                    std::vector<Addr> &refill_out)
+{
+    if (!enabled())
+        return false;
+
+    ++stats_.probes;
+
+    // Check all entries (the head is the common case for sequential
+    // streams, but misses that skip a line can hit deeper entries).
+    for (std::uint32_t i = 0; i < entries_; ++i) {
+        if (fifo_[i].valid && fifo_[i].block == block) {
+            ++stats_.hits;
+            ready_out = fifo_[i].ready > now ? fifo_[i].ready : now;
+            // Entries before and including the hit are consumed/discarded
+            // (skipped ones count as useless prefetches).
+            for (std::uint32_t j = 0; j < i; ++j)
+                if (fifo_[j].valid)
+                    ++stats_.useless;
+            const std::uint32_t consumed = i + 1;
+            for (std::uint32_t j = 0; j + consumed < entries_; ++j)
+                fifo_[j] = fifo_[j + consumed];
+            for (std::uint32_t j = entries_ - consumed; j < entries_; ++j)
+                fifo_[j] = Entry{};
+            // Top up the freed slots with further sequential prefetches.
+            for (std::uint32_t j = 0; j < consumed; ++j) {
+                refill_out.push_back(next_block_);
+                ++stats_.prefetches;
+                next_block_ += line_bytes_;
+            }
+            return true;
+        }
+    }
+
+    // Miss: flush and re-arm at the new stream, prefetching the lines
+    // after the missing one.
+    flushAll();
+    next_block_ = block + line_bytes_;
+    for (std::uint32_t j = 0; j < entries_; ++j) {
+        refill_out.push_back(next_block_);
+        ++stats_.prefetches;
+        next_block_ += line_bytes_;
+    }
+    return false;
+}
+
+void
+StreamBuffer::fill(Addr block, Cycles ready)
+{
+    if (!enabled())
+        return;
+    for (auto &e : fifo_) {
+        if (!e.valid) {
+            e.block = block;
+            e.ready = ready;
+            e.valid = true;
+            return;
+        }
+    }
+    // No free slot (stale request from before a flush); drop it.
+}
+
+} // namespace dbsim::mem

@@ -1,0 +1,57 @@
+#include "memory/tlb.hpp"
+
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace dbsim::mem {
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t page_bytes)
+    : entries_(entries)
+{
+    if (!isPow2(page_bytes))
+        DBSIM_FATAL("TLB page size must be a power of two");
+    page_shift_ = log2i(page_bytes);
+}
+
+bool
+Tlb::access(Addr vaddr)
+{
+    ++stats_.accesses;
+    if (perfect())
+        return true;
+
+    const Addr vpage = pageOf(vaddr);
+    ++stamp_;
+    auto it = map_.find(vpage);
+    if (it != map_.end()) {
+        it->second = stamp_;
+        return true;
+    }
+
+    ++stats_.misses;
+    if (map_.size() >= entries_) {
+        // Evict true-LRU entry.
+        auto victim = map_.begin();
+        std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+        for (auto jt = map_.begin(); jt != map_.end(); ++jt) {
+            if (jt->second < oldest) {
+                oldest = jt->second;
+                victim = jt;
+            }
+        }
+        map_.erase(victim);
+    }
+    map_.emplace(vpage, stamp_);
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    map_.clear();
+    stamp_ = 0;
+    stats_ = TlbStats{};
+}
+
+} // namespace dbsim::mem

@@ -1,0 +1,70 @@
+#include "sim/breakdown.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dbsim::sim {
+
+const char *
+stallCatName(StallCat c)
+{
+    switch (c) {
+      case StallCat::Busy:       return "busy";
+      case StallCat::Fu:         return "fu_stall";
+      case StallCat::ReadL1:     return "read_l1_misc";
+      case StallCat::ReadL2:     return "read_l2";
+      case StallCat::ReadLocal:  return "read_local";
+      case StallCat::ReadRemote: return "read_remote";
+      case StallCat::ReadDirty:  return "read_dirty";
+      case StallCat::ReadDtlb:   return "read_dtlb";
+      case StallCat::Write:      return "write";
+      case StallCat::Sync:       return "sync";
+      case StallCat::Instr:      return "instr";
+      case StallCat::Itlb:       return "itlb";
+      case StallCat::Idle:       return "idle";
+      case StallCat::kCount:     break;
+    }
+    return "?";
+}
+
+double
+Breakdown::read() const
+{
+    return (*this)[StallCat::ReadL1] + (*this)[StallCat::ReadL2] +
+           (*this)[StallCat::ReadLocal] + (*this)[StallCat::ReadRemote] +
+           (*this)[StallCat::ReadDirty] + (*this)[StallCat::ReadDtlb];
+}
+
+double
+Breakdown::total() const
+{
+    double t = 0.0;
+    for (std::size_t i = 0; i < kNumStallCats; ++i) {
+        if (static_cast<StallCat>(i) != StallCat::Idle)
+            t += cycles[i];
+    }
+    return t;
+}
+
+Breakdown &
+Breakdown::operator+=(const Breakdown &o)
+{
+    for (std::size_t i = 0; i < kNumStallCats; ++i)
+        cycles[i] += o.cycles[i];
+    return *this;
+}
+
+std::string
+Breakdown::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < kNumStallCats; ++i) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%-14s %14.1f\n",
+                      stallCatName(static_cast<StallCat>(i)), cycles[i]);
+        os << buf;
+    }
+    return os.str();
+}
+
+} // namespace dbsim::sim

@@ -1,0 +1,105 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dbsim::sim {
+
+using cpu::ProcessContext;
+using cpu::ProcState;
+
+Scheduler::Scheduler(std::uint32_t num_cpus) : queues_(num_cpus)
+{
+    if (num_cpus == 0)
+        DBSIM_FATAL("scheduler needs at least one CPU");
+}
+
+void
+Scheduler::addProcess(ProcessContext *proc, CpuId cpu)
+{
+    DBSIM_ASSERT(cpu < queues_.size(), "bad affinity");
+    if (affinity_.size() <= proc->id())
+        affinity_.resize(proc->id() + 1, 0);
+    affinity_[proc->id()] = cpu;
+    proc->state = ProcState::Ready;
+    queues_[cpu].ready.push_back(proc);
+    queues_[cpu].all.push_back(proc);
+}
+
+void
+Scheduler::wake(CpuQueue &q, Cycles now)
+{
+    for (auto it = q.blocked.begin(); it != q.blocked.end();) {
+        if ((*it)->wake_at <= now) {
+            (*it)->state = ProcState::Ready;
+            q.ready.push_back(*it);
+            it = q.blocked.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+ProcessContext *
+Scheduler::pickNext(CpuId cpu, Cycles now)
+{
+    CpuQueue &q = queues_[cpu];
+    wake(q, now);
+    if (q.ready.empty())
+        return nullptr;
+    ProcessContext *p = q.ready.front();
+    q.ready.pop_front();
+    return p;
+}
+
+void
+Scheduler::makeReady(ProcessContext *proc)
+{
+    proc->state = ProcState::Ready;
+    queues_[affinity_[proc->id()]].ready.push_back(proc);
+}
+
+void
+Scheduler::block(ProcessContext *proc, Cycles wake_at)
+{
+    proc->state = ProcState::Blocked;
+    proc->wake_at = wake_at;
+    queues_[affinity_[proc->id()]].blocked.push_back(proc);
+}
+
+void
+Scheduler::finish(ProcessContext *proc)
+{
+    proc->state = ProcState::Done;
+}
+
+bool
+Scheduler::anyIncomplete(CpuId cpu) const
+{
+    const CpuQueue &q = queues_[cpu];
+    return std::any_of(q.all.begin(), q.all.end(),
+                       [](const ProcessContext *p) {
+                           return p->state != ProcState::Done;
+                       });
+}
+
+bool
+Scheduler::anyIncomplete() const
+{
+    for (CpuId c = 0; c < queues_.size(); ++c)
+        if (anyIncomplete(c))
+            return true;
+    return false;
+}
+
+Cycles
+Scheduler::nextWake(CpuId cpu) const
+{
+    Cycles w = kNever;
+    for (const ProcessContext *p : queues_[cpu].blocked)
+        w = std::min(w, p->wake_at);
+    return w;
+}
+
+} // namespace dbsim::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The internally modeled operating-system scheduler (paper section 2.2):
+ * per-CPU run queues with processes pinned to their CPUs, context
+ * switches at blocking system calls (whose I/O latencies come from the
+ * trace), lock-spin yields, and a round-robin time slice as a backstop.
+ */
+
+#ifndef DBSIM_SIM_SCHEDULER_HPP
+#define DBSIM_SIM_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/process.hpp"
+
+namespace dbsim::sim {
+
+/**
+ * Per-CPU run queues over externally owned ProcessContexts.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(std::uint32_t num_cpus);
+
+    /** Register @p proc with affinity @p cpu; it starts Ready. */
+    void addProcess(cpu::ProcessContext *proc, CpuId cpu);
+
+    /**
+     * Pick the next runnable process for @p cpu at time @p now (wakes
+     * any blocked processes whose wake time has passed first).
+     * @return nullptr if none is runnable.
+     */
+    cpu::ProcessContext *pickNext(CpuId cpu, Cycles now);
+
+    /** Requeue a (yielding or preempted) process at the back. */
+    void makeReady(cpu::ProcessContext *proc);
+
+    /** Block @p proc until @p wake_at. */
+    void block(cpu::ProcessContext *proc, Cycles wake_at);
+
+    /** Mark @p proc finished. */
+    void finish(cpu::ProcessContext *proc);
+
+    /** Any process (Ready or Blocked) still incomplete on @p cpu? */
+    bool anyIncomplete(CpuId cpu) const;
+
+    /** Any incomplete process anywhere? */
+    bool anyIncomplete() const;
+
+    /**
+     * Earliest wake time among blocked processes of @p cpu (kNever if
+     * none are blocked).
+     */
+    Cycles nextWake(CpuId cpu) const;
+
+    /** True iff a Ready process is queued on @p cpu. */
+    bool hasReady(CpuId cpu) const { return !queues_[cpu].ready.empty(); }
+
+    std::uint32_t numCpus() const { return static_cast<std::uint32_t>(queues_.size()); }
+
+  private:
+    struct CpuQueue
+    {
+        std::deque<cpu::ProcessContext *> ready;
+        std::vector<cpu::ProcessContext *> blocked;
+        std::vector<cpu::ProcessContext *> all;
+    };
+
+    void wake(CpuQueue &q, Cycles now);
+
+    std::vector<CpuQueue> queues_;
+    std::vector<CpuId> affinity_; ///< indexed by ProcId
+};
+
+} // namespace dbsim::sim
+
+#endif // DBSIM_SIM_SCHEDULER_HPP

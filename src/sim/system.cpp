@@ -1,0 +1,265 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace dbsim::sim {
+
+System::System(const SystemParams &params)
+    : params_(params),
+      page_map_(params.node.page_bytes, params.page_bins, params.num_nodes),
+      fabric_(params.num_nodes, params.fabric, params.mesh),
+      sched_(params.num_nodes)
+{
+    cpus_.resize(params_.num_nodes);
+    for (std::uint32_t i = 0; i < params_.num_nodes; ++i) {
+        cpus_[i].node = std::make_unique<Node>(i, params_.node, &page_map_,
+                                               &fabric_);
+        cpus_[i].core = std::make_unique<cpu::Core>(i, params_.core,
+                                                    cpus_[i].node.get(),
+                                                    this);
+        cpus_[i].node->attachCore(cpus_[i].core.get());
+        fabric_.attachSite(i, cpus_[i].node.get());
+    }
+}
+
+System::~System() = default;
+
+cpu::ProcessContext *
+System::addProcess(std::unique_ptr<trace::TraceSource> src, CpuId affinity)
+{
+    DBSIM_ASSERT(affinity < params_.num_nodes, "bad process affinity");
+    const ProcId id = static_cast<ProcId>(procs_.size());
+    sources_.push_back(std::move(src));
+    procs_.push_back(std::make_unique<cpu::ProcessContext>(
+        id, sources_.back().get()));
+    proc_cpu_.push_back(affinity);
+    sched_.addProcess(procs_.back().get(), affinity);
+    return procs_.back().get();
+}
+
+std::uint64_t
+System::totalRetired() const
+{
+    std::uint64_t n = retired_before_reset_;
+    for (const auto &cs : cpus_)
+        n += cs.core->stats().instructions;
+    return n;
+}
+
+void
+System::resetStats()
+{
+    for (auto &cs : cpus_) {
+        retired_before_reset_ += cs.core->stats().instructions;
+        cs.core->resetStats();
+        cs.node->resetStats();
+    }
+    window_start_ = now_;
+}
+
+// ---------------------------------------------------------------------
+// CoreEnvIf: locks
+// ---------------------------------------------------------------------
+
+bool
+System::lockIsFree(Addr addr, ProcId proc) const
+{
+    auto it = lock_holder_.find(addr);
+    return it == lock_holder_.end() || it->second == proc;
+}
+
+bool
+System::lockTryAcquire(Addr addr, ProcId proc)
+{
+    auto [it, inserted] = lock_holder_.emplace(addr, proc);
+    return inserted || it->second == proc;
+}
+
+void
+System::lockRelease(Addr addr, ProcId proc)
+{
+    auto it = lock_holder_.find(addr);
+    if (it != lock_holder_.end() && it->second == proc)
+        lock_holder_.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// CoreEnvIf: scheduling notifications
+// ---------------------------------------------------------------------
+
+void
+System::onSyscallBlock(ProcId proc, Cycles latency)
+{
+    CpuState &cs = cpus_[cpuOf(proc)];
+    cs.pending = Pending::Block;
+    cs.pending_latency = latency;
+}
+
+void
+System::onLockYield(ProcId proc)
+{
+    CpuState &cs = cpus_[cpuOf(proc)];
+    if (cs.pending == Pending::None)
+        cs.pending = Pending::Yield;
+}
+
+void
+System::onProcessDone(ProcId proc)
+{
+    CpuState &cs = cpus_[cpuOf(proc)];
+    cs.pending = Pending::Done;
+}
+
+void
+System::handlePending(CpuState &cs)
+{
+    if (cs.pending == Pending::None)
+        return;
+    cpu::ProcessContext *proc = cs.core->current();
+    DBSIM_ASSERT(proc != nullptr, "pending action without process");
+    switch (cs.pending) {
+      case Pending::Block:
+        cs.core->detachCurrent();
+        sched_.block(proc, now_ + cs.pending_latency);
+        break;
+      case Pending::Yield:
+        cs.core->detachCurrent();
+        sched_.makeReady(proc);
+        break;
+      case Pending::Done:
+        cs.core->detachCurrent();
+        sched_.finish(proc);
+        break;
+      case Pending::None:
+        break;
+    }
+    cs.pending = Pending::None;
+}
+
+// ---------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------
+
+RunResult
+System::run(std::uint64_t max_instructions,
+            std::uint64_t warmup_instructions)
+{
+    bool warmed = warmup_instructions == 0;
+    window_start_ = now_;
+    const Cycles deadline = now_ + params_.max_cycles;
+
+    // Optional progress debugging: DBSIM_DEBUG=<cycle interval>.
+    const char *dbg_env = std::getenv("DBSIM_DEBUG");
+    const Cycles dbg_every = dbg_env ? std::strtoull(dbg_env, nullptr, 10) : 0;
+    Cycles dbg_next = dbg_every;
+
+    while (sched_.anyIncomplete() && totalRetired() < max_instructions) {
+        if (now_ >= deadline)
+            DBSIM_FATAL("simulation exceeded max_cycles safety cap");
+        if (dbg_every && now_ >= dbg_next) {
+            dbg_next = now_ + dbg_every;
+            std::fprintf(stderr, "[dbsim] cyc=%llu retired=%llu",
+                         static_cast<unsigned long long>(now_),
+                         static_cast<unsigned long long>(totalRetired()));
+            for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+                const auto *cur = cpus_[i].core->current();
+                std::fprintf(stderr, " cpu%u(%s,%s) %s", i,
+                             cur ? "run" : "idle",
+                             stallCatName(cpus_[i].core->headCat()),
+                             cpus_[i].core->debugString().c_str());
+            }
+            std::fprintf(stderr, "\n");
+        }
+
+        // Dispatch processes onto idle cores.
+        for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+            CpuState &cs = cpus_[i];
+            if (!cs.core->current()) {
+                if (cpu::ProcessContext *p = sched_.pickNext(i, now_)) {
+                    cs.core->switchTo(p, now_, cs.ever_ran);
+                    cs.ever_ran = true;
+                    cs.run_start = now_;
+                }
+            }
+        }
+
+        // One cycle of execution on every core.
+        for (auto &cs : cpus_)
+            cs.core->tick(now_);
+
+        // Scheduling actions requested during the tick.
+        for (auto &cs : cpus_)
+            handlePending(cs);
+
+        // Round-robin backstop: preempt over-quantum processes when
+        // someone else is waiting.
+        for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+            CpuState &cs = cpus_[i];
+            if (cs.core->current() &&
+                now_ - cs.run_start >= params_.sched_quantum &&
+                sched_.hasReady(i)) {
+                cpu::ProcessContext *p = cs.core->current();
+                cs.core->detachCurrent();
+                sched_.makeReady(p);
+            }
+        }
+
+        if (!warmed && totalRetired() >= warmup_instructions) {
+            resetStats();
+            warmed = true;
+        }
+
+        // Advance time, skipping cycles in which nothing can happen.
+        Cycles next = kNever;
+        for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+            CpuState &cs = cpus_[i];
+            Cycles e;
+            if (!cs.core->current()) {
+                e = sched_.hasReady(i) ? now_ + 1 : sched_.nextWake(i);
+            } else {
+                e = cs.core->nextEvent(now_);
+                if (sched_.hasReady(i)) {
+                    // A waiting process bounds the skip at the quantum.
+                    e = std::min(e, cs.run_start + params_.sched_quantum);
+                }
+                e = std::min(e, sched_.nextWake(i));
+            }
+            next = std::min(next, e);
+        }
+
+        if (next == kNever) {
+            if (!sched_.anyIncomplete())
+                break;
+            // Everything quiesced with work outstanding: the cores will
+            // make progress next cycle (e.g. freshly scheduled work).
+            next = now_ + 1;
+        }
+        next = std::max(next, now_ + 1);
+        if (next > now_ + 1) {
+            for (auto &cs : cpus_)
+                cs.core->accountStall(now_ + 1, next);
+        }
+        now_ = next;
+    }
+
+    for (auto &cs : cpus_)
+        cs.node->finalizeStats(now_);
+
+    RunResult r;
+    r.cycles = now_ - window_start_;
+    for (auto &cs : cpus_) {
+        r.instructions += cs.core->stats().instructions;
+        r.breakdown += cs.core->breakdown();
+    }
+    r.ipc = r.cycles
+                ? static_cast<double>(r.instructions) /
+                      (static_cast<double>(r.cycles) * cpus_.size())
+                : 0.0;
+    return r;
+}
+
+} // namespace dbsim::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The simulated CC-NUMA multiprocessor: nodes (core + hierarchy),
+ * coherence fabric, page map, OS scheduler model, the lock table
+ * maintained in the simulated environment, and the main run loop with
+ * event-driven cycle skipping.
+ */
+
+#ifndef DBSIM_SIM_SYSTEM_HPP
+#define DBSIM_SIM_SYSTEM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "cpu/interfaces.hpp"
+#include "cpu/ooo_core.hpp"
+#include "cpu/process.hpp"
+#include "memory/page_map.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/source.hpp"
+
+namespace dbsim::sim {
+
+/** Whole-machine configuration. */
+struct SystemParams
+{
+    std::uint32_t num_nodes = 4;
+    cpu::CoreParams core;
+    NodeParams node;
+    coher::FabricParams fabric;
+    net::MeshParams mesh;
+    Cycles sched_quantum = 200000;  ///< round-robin backstop time slice
+    std::uint32_t page_bins = 32;   ///< bin-hopping colors
+    Cycles max_cycles = 4ull << 30; ///< hard safety cap
+};
+
+/** Results of a run (post-warmup window). */
+struct RunResult
+{
+    Cycles cycles = 0;               ///< simulated cycles in the window
+    std::uint64_t instructions = 0;  ///< instructions retired
+    Breakdown breakdown;             ///< aggregated over all cores
+    double ipc = 0.0;                ///< instructions / (cycles * cores)
+};
+
+/**
+ * The simulated machine.
+ */
+class System : public cpu::CoreEnvIf
+{
+  public:
+    explicit System(const SystemParams &params);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Add a workload process with @p affinity.  Ownership of the trace
+     * source transfers to the system.
+     */
+    cpu::ProcessContext *addProcess(std::unique_ptr<trace::TraceSource> src,
+                                    CpuId affinity);
+
+    /**
+     * Run until @p max_instructions have retired in total (across all
+     * CPUs, including warmup) or every process finished.  Statistics are
+     * reset once @p warmup_instructions have retired, so the returned
+     * result covers the post-warmup window.
+     */
+    RunResult run(std::uint64_t max_instructions,
+                  std::uint64_t warmup_instructions = 0);
+
+    std::uint32_t numNodes() const { return params_.num_nodes; }
+    Node &node(std::uint32_t i) { return *cpus_[i].node; }
+    cpu::Core &core(std::uint32_t i) { return *cpus_[i].core; }
+    const coher::CoherenceFabric &fabric() const { return fabric_; }
+    Cycles now() const { return now_; }
+
+    /** Total instructions retired since construction (incl. warmup). */
+    std::uint64_t totalRetired() const;
+
+    // CoreEnvIf
+    bool lockIsFree(Addr addr, ProcId proc) const override;
+    bool lockTryAcquire(Addr addr, ProcId proc) override;
+    void lockRelease(Addr addr, ProcId proc) override;
+    void onSyscallBlock(ProcId proc, Cycles latency) override;
+    void onLockYield(ProcId proc) override;
+    void onProcessDone(ProcId proc) override;
+
+  private:
+    enum class Pending : std::uint8_t { None, Block, Yield, Done };
+
+    struct CpuState
+    {
+        std::unique_ptr<Node> node;
+        std::unique_ptr<cpu::Core> core;
+        Pending pending = Pending::None;
+        Cycles pending_latency = 0;
+        Cycles run_start = 0;
+        bool ever_ran = false;
+    };
+
+    void resetStats();
+    void handlePending(CpuState &cs);
+    CpuId cpuOf(ProcId proc) const { return proc_cpu_.at(proc); }
+
+    SystemParams params_;
+    mem::PageMap page_map_;
+    coher::CoherenceFabric fabric_;
+    Scheduler sched_;
+    std::vector<CpuState> cpus_;
+    std::vector<std::unique_ptr<cpu::ProcessContext>> procs_;
+    std::vector<std::unique_ptr<trace::TraceSource>> sources_;
+    std::vector<CpuId> proc_cpu_;
+    std::unordered_map<Addr, ProcId> lock_holder_;
+    Cycles now_ = 0;
+    std::uint64_t retired_before_reset_ = 0;
+    Cycles window_start_ = 0;
+};
+
+} // namespace dbsim::sim
+
+#endif // DBSIM_SIM_SYSTEM_HPP

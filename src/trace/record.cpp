@@ -1,0 +1,95 @@
+#include "trace/record.hpp"
+
+#include <cstdio>
+
+namespace dbsim::trace {
+
+bool
+isMemory(OpClass op)
+{
+    switch (op) {
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::LockAcquire:
+      case OpClass::LockRelease:
+      case OpClass::Prefetch:
+      case OpClass::PrefetchExcl:
+      case OpClass::Flush:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::LockAcquire;
+}
+
+bool
+isStore(OpClass op)
+{
+    return op == OpClass::Store || op == OpClass::LockRelease;
+}
+
+bool
+isBranch(OpClass op)
+{
+    switch (op) {
+      case OpClass::BranchCond:
+      case OpClass::BranchJmp:
+      case OpClass::BranchCall:
+      case OpClass::BranchRet:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isHint(OpClass op)
+{
+    return op == OpClass::Prefetch || op == OpClass::PrefetchExcl ||
+           op == OpClass::Flush;
+}
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:       return "IntAlu";
+      case OpClass::FpAlu:        return "FpAlu";
+      case OpClass::Load:         return "Load";
+      case OpClass::Store:        return "Store";
+      case OpClass::BranchCond:   return "BranchCond";
+      case OpClass::BranchJmp:    return "BranchJmp";
+      case OpClass::BranchCall:   return "BranchCall";
+      case OpClass::BranchRet:    return "BranchRet";
+      case OpClass::MemBarrier:   return "MemBarrier";
+      case OpClass::WriteBarrier: return "WriteBarrier";
+      case OpClass::LockAcquire:  return "LockAcquire";
+      case OpClass::LockRelease:  return "LockRelease";
+      case OpClass::SyscallBlock: return "SyscallBlock";
+      case OpClass::Prefetch:     return "Prefetch";
+      case OpClass::PrefetchExcl: return "PrefetchExcl";
+      case OpClass::Flush:        return "Flush";
+    }
+    return "?";
+}
+
+std::string
+toString(const TraceRecord &rec)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-12s pc=%#llx va=%#llx extra=%llu d1=%u d2=%u t=%d",
+                  opClassName(rec.op),
+                  static_cast<unsigned long long>(rec.pc),
+                  static_cast<unsigned long long>(rec.vaddr),
+                  static_cast<unsigned long long>(rec.extra),
+                  rec.dep1, rec.dep2, rec.taken ? 1 : 0);
+    return buf;
+}
+
+} // namespace dbsim::trace

@@ -1,0 +1,7 @@
+#include "trace/source.hpp"
+
+// TraceSource is header-only today; this translation unit anchors the
+// vtable for the abstract base so that typeinfo lives in one object file.
+
+namespace dbsim::trace {
+} // namespace dbsim::trace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Trace-source abstractions.
+ *
+ * A TraceSource is a pull-model stream of TraceRecords for one simulated
+ * process.  Workload engines implement it by lazily generating work;
+ * tests use VectorSource; LimitSource caps a stream for scaled runs.
+ */
+
+#ifndef DBSIM_TRACE_SOURCE_HPP
+#define DBSIM_TRACE_SOURCE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace dbsim::trace {
+
+/**
+ * Abstract per-process instruction stream.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record into @p out.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+/**
+ * A source backed by a fixed vector of records (testing, golden traces).
+ */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceRecord> recs)
+        : recs_(std::move(recs)) {}
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (pos_ >= recs_.size())
+            return false;
+        out = recs_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceRecord> recs_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Caps an underlying source at a maximum number of records; used to scale
+ * simulations down (paper section 2.3).  The cap applies to dynamic
+ * instructions delivered, not to transactions.
+ */
+class LimitSource : public TraceSource
+{
+  public:
+    LimitSource(std::unique_ptr<TraceSource> inner, std::uint64_t limit)
+        : inner_(std::move(inner)), limit_(limit) {}
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (delivered_ >= limit_)
+            return false;
+        if (!inner_->next(out))
+            return false;
+        ++delivered_;
+        return true;
+    }
+
+    std::uint64_t delivered() const { return delivered_; }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t limit_;
+    std::uint64_t delivered_ = 0;
+};
+
+/**
+ * Convenience base for generators that produce records in bursts: derive
+ * and implement refill(), pushing records with emit().
+ */
+class GeneratingSource : public TraceSource
+{
+  public:
+    bool
+    next(TraceRecord &out) override
+    {
+        while (buffer_.empty()) {
+            if (done_)
+                return false;
+            refill();
+        }
+        out = buffer_.front();
+        buffer_.pop_front();
+        return true;
+    }
+
+  protected:
+    /** Generate at least one more record via emit(), or call finish(). */
+    virtual void refill() = 0;
+
+    void emit(const TraceRecord &rec) { buffer_.push_back(rec); }
+    void finish() { done_ = true; }
+    bool finished() const { return done_; }
+
+  private:
+    std::deque<TraceRecord> buffer_;
+    bool done_ = false;
+};
+
+} // namespace dbsim::trace
+
+#endif // DBSIM_TRACE_SOURCE_HPP

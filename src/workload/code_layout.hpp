@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Synthetic code layout and the trace builder.
+ *
+ * CodeLayout models the database engine's instruction footprint as a set
+ * of routines laid out contiguously in the code segment.  TraceBuilder
+ * walks routines emitting instruction records with realistic structure:
+ * sequential PC runs broken by conditional branches (biased per static
+ * site so the hybrid predictor sees learnable patterns with a residual
+ * hard fraction), calls/returns that exercise the BTB and return-address
+ * stack, register-dependence chains, and the memory operations the
+ * workload engines interleave.
+ *
+ * The streaming-run lengths between taken branches are kept short (a few
+ * cache lines), reproducing the instruction-reference pattern that makes
+ * a small stream buffer effective for OLTP (paper section 4.1).
+ */
+
+#ifndef DBSIM_WORKLOAD_CODE_LAYOUT_HPP
+#define DBSIM_WORKLOAD_CODE_LAYOUT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace dbsim::workload {
+
+/**
+ * The engine's code segment: routines with deterministic pseudo-random
+ * sizes derived from a seed.
+ */
+class CodeLayout
+{
+  public:
+    /**
+     * @param base        code segment base address
+     * @param code_bytes  total instruction footprint
+     * @param seed        layout seed (sizes are deterministic in it)
+     */
+    CodeLayout(Addr base, std::uint64_t code_bytes, std::uint64_t seed);
+
+    std::uint32_t numRoutines() const
+    {
+        return static_cast<std::uint32_t>(starts_.size());
+    }
+
+    Addr routineStart(std::uint32_t r) const { return starts_.at(r); }
+    std::uint32_t routineInstrs(std::uint32_t r) const { return sizes_.at(r); }
+
+    Addr base() const { return base_; }
+    std::uint64_t footprintBytes() const { return footprint_; }
+
+  private:
+    Addr base_;
+    std::uint64_t footprint_;
+    std::vector<Addr> starts_;
+    std::vector<std::uint32_t> sizes_;
+};
+
+/** Instruction-mix knobs for the builder. */
+struct BuilderParams
+{
+    double branch_every = 6.0;    ///< mean filler instrs between branches
+    double hard_branch_frac = 0.10; ///< static sites with ~50/50 outcomes
+    double fp_frac = 0.0;         ///< fraction of filler ops that are FP
+    std::uint8_t max_dep = 5;     ///< max filler dependence distance
+    double dep_chance = 0.7;      ///< chance a filler op has a dependence
+};
+
+/**
+ * Emits TraceRecords through a sink while walking the code layout.
+ */
+class TraceBuilder
+{
+  public:
+    using Sink = std::function<void(const trace::TraceRecord &)>;
+
+    TraceBuilder(const CodeLayout *code, Rng *rng, Sink sink,
+                 BuilderParams params = {});
+
+    /**
+     * Call a routine (exercises BTB + RAS).  The target is a
+     * deterministic function of the call-site PC, as in real code where
+     * each call site has a fixed target; which sites execute varies
+     * with the control-flow path, so repeated calls still walk the full
+     * code footprint.
+     */
+    void call();
+
+    /**
+     * Call a specific routine (fixed target regardless of site).  Used
+     * for the engine's fixed code paths (e.g. the balance-update and
+     * redo-allocation routines), so that the instructions generating
+     * migratory references are a small stable set of PCs, as the paper
+     * observes (section 4.2).
+     */
+    void callTo(std::uint32_t routine);
+
+    /** Return from the current routine. */
+    void ret();
+
+    /** Emit @p n filler instructions (ALU / FP / conditional branches). */
+    void compute(std::uint32_t n);
+
+    /**
+     * Emit a memory operation at the current PC.
+     * @param op          Load / Store / hints
+     * @param addr        data virtual address
+     * @param dep_on_last when nonzero, make the op depend on the record
+     *                    emitted @p dep_on_last records ago (1 = chain on
+     *                    the immediately preceding record)
+     */
+    void memOp(trace::OpClass op, Addr addr, std::uint32_t dep_on_last = 0);
+
+    /** Lock acquire on @p addr followed by an acquire fence (MB). */
+    void lockAcquire(Addr addr);
+
+    /** Release fence (WMB) followed by the lock release store. */
+    void lockRelease(Addr addr);
+
+    /** Blocking system call with the given I/O latency. */
+    void syscall(Cycles latency);
+
+    /** Total records emitted so far. */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Current call depth (for tests). */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    void emit(trace::TraceRecord rec);
+    void fillerOp();
+    void advancePc();
+    void maybeBranch();
+    double siteBias(Addr pc) const;
+
+    const CodeLayout *code_;
+    Rng *rng_;
+    Sink sink_;
+    BuilderParams p_;
+
+    struct Frame
+    {
+        std::uint32_t routine;
+        Addr return_pc;
+    };
+
+    std::uint32_t cur_routine_ = 0;
+    Addr pc_;
+    std::vector<Frame> stack_;
+    std::uint64_t emitted_ = 0;
+    double branch_credit_ = 0.0;
+};
+
+} // namespace dbsim::workload
+
+#endif // DBSIM_WORKLOAD_CODE_LAYOUT_HPP

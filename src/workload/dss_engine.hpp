@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The synthetic DSS workload engine (TPC-D Query 6 style, paper
+ * section 2.1.2).
+ *
+ * Models a parallelized sequential scan of the largest table: each
+ * server process scans its own partition, evaluating a selective
+ * predicate per row and accumulating a revenue aggregate for the rows
+ * that qualify.  The workload is compute-intensive with a small
+ * instruction footprint (the scan loop), spatial locality on table
+ * reads, per-process work-area traffic whose footprint sits between the
+ * L1 and L2 sizes, and negligible locking -- matching the paper's DSS
+ * characterization.
+ */
+
+#ifndef DBSIM_WORKLOAD_DSS_ENGINE_HPP
+#define DBSIM_WORKLOAD_DSS_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/source.hpp"
+#include "workload/code_layout.hpp"
+#include "workload/sga_layout.hpp"
+
+namespace dbsim::workload {
+
+/** DSS workload configuration (scaled defaults; see DESIGN.md). */
+struct DssParams
+{
+    std::uint32_t num_procs = 16;   ///< 4 per CPU on 4 CPUs
+    std::uint64_t table_bytes = 48ull << 20; ///< scanned relation
+    std::uint32_t row_bytes = 16; ///< bytes of each row actually touched
+    double selectivity = 0.02;
+    SgaParams sga{
+        /*code_bytes=*/12 * 1024,
+        /*block_bytes=*/2048,
+        /*buffer_blocks=*/32768, // must cover table_bytes
+        /*metadata_bytes=*/1 << 20,
+        /*log_buffer_bytes=*/64 * 1024,
+        /*private_bytes=*/256 * 1024,
+    };
+    BuilderParams builder{
+        /*branch_every=*/8.0,
+        /*hard_branch_frac=*/0.05,
+        /*fp_frac=*/0.12,
+        /*max_dep=*/4,
+        /*dep_chance=*/0.45,
+    };
+    // Per-row access-mix knobs (see DESIGN.md calibration notes).
+    std::uint32_t table_refs_per_row = 8;   ///< field loads (with re-reads)
+    std::uint32_t private_refs_per_row = 5; ///< stack traffic (L1-resident)
+    double workarea_chance = 0.15;          ///< per-row work-area access prob
+    std::uint64_t workarea_bytes = 48 * 1024;
+    std::uint32_t compute_per_row = 42;
+    std::uint32_t block_epilogue_compute = 200;
+    std::uint64_t seed = 2;
+};
+
+/**
+ * Factory for per-process DSS trace sources sharing one table layout.
+ */
+class DssWorkload
+{
+  public:
+    explicit DssWorkload(const DssParams &params);
+
+    const DssParams &params() const { return p_; }
+    const SgaLayout &layout() const { return layout_; }
+    const CodeLayout &code() const { return code_; }
+
+    /** Rows per database block. */
+    std::uint32_t rowsPerBlock() const;
+
+    /** Total blocks in the scanned table. */
+    std::uint32_t tableBlocks() const;
+
+    /**
+     * Create the trace source for scan process @p proc.  The stream
+     * ends when the process's partition is fully scanned.
+     */
+    std::unique_ptr<trace::TraceSource> makeProcess(ProcId proc) const;
+
+  private:
+    DssParams p_;
+    SgaLayout layout_;
+    CodeLayout code_;
+};
+
+} // namespace dbsim::workload
+
+#endif // DBSIM_WORKLOAD_DSS_ENGINE_HPP

@@ -1,0 +1,101 @@
+#include "workload/lock_manager.hpp"
+
+#include "common/log.hpp"
+
+namespace dbsim::workload {
+
+LockDirectory::LockDirectory(const SgaLayout *layout, std::uint32_t branches,
+                             std::uint32_t tellers_per_branch,
+                             std::uint32_t hash_buckets)
+    : layout_(layout), branches_(branches),
+      tellers_per_branch_(tellers_per_branch), hash_buckets_(hash_buckets)
+{
+    if (branches == 0 || tellers_per_branch == 0 || hash_buckets == 0)
+        DBSIM_FATAL("lock directory needs nonzero entity counts");
+    branch_base_ = 0;
+    teller_base_ = branch_base_ + branches_;
+    bucket_base_ = teller_base_ + tellers();
+    log_base_ = bucket_base_ + hash_buckets_;
+
+    const std::uint64_t need = (log_base_ + 1) * kSlotBytes;
+    if (need > layout_->params().metadata_bytes) {
+        DBSIM_FATAL("metadata area too small for lock directory: need ",
+                    need, " bytes");
+    }
+}
+
+Addr
+LockDirectory::slot(std::uint64_t index, std::uint32_t offset) const
+{
+    DBSIM_ASSERT(offset < kSlotBytes, "slot offset out of range");
+    return layout_->metadata(index * kSlotBytes + offset);
+}
+
+Addr
+LockDirectory::branchLock(std::uint32_t b) const
+{
+    DBSIM_ASSERT(b < branches_, "branch out of range");
+    return slot(branch_base_ + b, 0);
+}
+
+Addr
+LockDirectory::branchData(std::uint32_t b, std::uint32_t w) const
+{
+    DBSIM_ASSERT(b < branches_, "branch out of range");
+    return slot(branch_base_ + b, 64 + (w % 3) * 64 + 8 * (w % 8));
+}
+
+Addr
+LockDirectory::tellerLock(std::uint32_t t) const
+{
+    DBSIM_ASSERT(t < tellers(), "teller out of range");
+    return slot(teller_base_ + t, 0);
+}
+
+Addr
+LockDirectory::tellerData(std::uint32_t t, std::uint32_t w) const
+{
+    DBSIM_ASSERT(t < tellers(), "teller out of range");
+    return slot(teller_base_ + t, 64 + (w % 3) * 64 + 8 * (w % 8));
+}
+
+Addr
+LockDirectory::bucketLock(std::uint32_t bucket) const
+{
+    DBSIM_ASSERT(bucket < hash_buckets_, "bucket out of range");
+    return slot(bucket_base_ + bucket, 0);
+}
+
+Addr
+LockDirectory::bucketChain(std::uint32_t bucket, std::uint32_t depth) const
+{
+    DBSIM_ASSERT(bucket < hash_buckets_, "bucket out of range");
+    return slot(bucket_base_ + bucket, 64 + (depth % 3) * 64 + 8 * (depth % 8));
+}
+
+Addr
+LockDirectory::logLatch() const
+{
+    return slot(log_base_, 0);
+}
+
+Addr
+LockDirectory::logState(std::uint32_t w) const
+{
+    return slot(log_base_, 64 + (w % 3) * 64 + 8 * (w % 8));
+}
+
+std::vector<Addr>
+LockDirectory::hotLatches() const
+{
+    std::vector<Addr> v;
+    v.reserve(branches_ + tellers() + 1);
+    for (std::uint32_t b = 0; b < branches_; ++b)
+        v.push_back(branchLock(b));
+    for (std::uint32_t t = 0; t < tellers(); ++t)
+        v.push_back(tellerLock(t));
+    v.push_back(logLatch());
+    return v;
+}
+
+} // namespace dbsim::workload

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lock/latch directory of the synthetic database engine.
+ *
+ * Assigns metadata-area addresses to the engine's latches and lock-
+ * protected records.  Each latch occupies its own cache line with the
+ * protected record words on the following lines of the same slot, so
+ * lock passing migrates the latch line (synchronization) and the
+ * record's data lines follow as dirty read misses and migratory write
+ * misses inside the critical section -- the fine-grain migratory
+ * sharing pattern the paper characterizes in section 4.2.
+ */
+
+#ifndef DBSIM_WORKLOAD_LOCK_MANAGER_HPP
+#define DBSIM_WORKLOAD_LOCK_MANAGER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/sga_layout.hpp"
+
+namespace dbsim::workload {
+
+/**
+ * Metadata-area address assignment for latches and their protected
+ * records.  Each entity gets a kSlotBytes-aligned slot: the latch word
+ * at offset 0, protected record words following it.
+ */
+class LockDirectory
+{
+  public:
+    /** Bytes reserved per lock-protected entity (4 cache lines). */
+    static constexpr std::uint32_t kSlotBytes = 256;
+
+    LockDirectory(const SgaLayout *layout, std::uint32_t branches,
+                  std::uint32_t tellers_per_branch,
+                  std::uint32_t hash_buckets);
+
+    std::uint32_t branches() const { return branches_; }
+    std::uint32_t tellers() const { return branches_ * tellers_per_branch_; }
+    std::uint32_t hashBuckets() const { return hash_buckets_; }
+
+    /** Latch protecting branch @p b's balance record. */
+    Addr branchLock(std::uint32_t b) const;
+
+    /** Word @p w of branch @p b's record (next line of the slot). */
+    Addr branchData(std::uint32_t b, std::uint32_t w) const;
+
+    /** Latch protecting teller @p t. */
+    Addr tellerLock(std::uint32_t t) const;
+    Addr tellerData(std::uint32_t t, std::uint32_t w) const;
+
+    /** Buffer-directory hash-bucket latch and chain words. */
+    Addr bucketLock(std::uint32_t bucket) const;
+    Addr bucketChain(std::uint32_t bucket, std::uint32_t depth) const;
+
+    /** The (single, hot) redo-log allocation latch. */
+    Addr logLatch() const;
+    Addr logState(std::uint32_t w) const;
+
+    /** All latch addresses that protect hot migratory metadata
+     *  (branches, tellers, log latch) -- used by the hint-insertion
+     *  pass. */
+    std::vector<Addr> hotLatches() const;
+
+  private:
+    Addr slot(std::uint64_t index, std::uint32_t offset) const;
+
+    const SgaLayout *layout_;
+    std::uint32_t branches_;
+    std::uint32_t tellers_per_branch_;
+    std::uint32_t hash_buckets_;
+    // slot index bases within the metadata area
+    std::uint64_t branch_base_;
+    std::uint64_t teller_base_;
+    std::uint64_t bucket_base_;
+    std::uint64_t log_base_;
+};
+
+} // namespace dbsim::workload
+
+#endif // DBSIM_WORKLOAD_LOCK_MANAGER_HPP

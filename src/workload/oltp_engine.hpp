@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The synthetic OLTP workload engine (TPC-B-style, paper section 2.1.1).
+ *
+ * Models a bank database: each transaction updates a random account, the
+ * account's branch balance, the submitting teller's balance, and appends
+ * to the history table, then writes a redo-log record and commits (a
+ * blocking log-write system call, amortized by group commit).  Each
+ * server process is independent; processes interact only through the
+ * SGA: latch-protected branch/teller/log metadata (which produces the
+ * migratory sharing of section 4.2), the buffer directory, and the block
+ * buffer.  Transaction code walks a large instruction footprint with
+ * short streaming runs, reproducing OLTP's instruction-stall behavior.
+ */
+
+#ifndef DBSIM_WORKLOAD_OLTP_ENGINE_HPP
+#define DBSIM_WORKLOAD_OLTP_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/source.hpp"
+#include "workload/code_layout.hpp"
+#include "workload/lock_manager.hpp"
+#include "workload/sga_layout.hpp"
+
+namespace dbsim::workload {
+
+/** OLTP workload configuration (scaled defaults; see DESIGN.md). */
+struct OltpParams
+{
+    std::uint32_t num_procs = 32;        ///< 8 per CPU on 4 CPUs
+    std::uint32_t branches = 40;
+    std::uint32_t tellers_per_branch = 10;
+    std::uint32_t accounts_per_branch = 2500;
+    std::uint32_t hash_buckets = 512;
+    double local_branch_prob = 0.85;     ///< TPC-B account locality
+    SgaParams sga{};
+    BuilderParams builder{};
+    Cycles log_io_latency = 12000;
+    std::uint32_t commits_per_group = 8; ///< txns per blocking log write
+    // Instruction-scale knobs.
+    std::uint32_t parse_routine_calls = 26;
+    std::uint32_t compute_per_routine = 34;
+    std::uint32_t private_refs_per_routine = 6;
+    double buffer_zipf_skew = 0.5;        ///< hot-block concentration
+    std::uint32_t redo_copy_latches = 4;  ///< parallel log latches
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Factory for per-process OLTP trace sources sharing one database
+ * layout.
+ */
+class OltpWorkload
+{
+  public:
+    explicit OltpWorkload(const OltpParams &params);
+
+    const OltpParams &params() const { return p_; }
+    const SgaLayout &layout() const { return layout_; }
+    const LockDirectory &locks() const { return locks_; }
+    const CodeLayout &code() const { return code_; }
+
+    /**
+     * Create the trace source for server process @p proc
+     * (0 <= proc < num_procs).  The stream is unbounded; wrap it in a
+     * trace::LimitSource to cap instruction counts.
+     */
+    std::unique_ptr<trace::TraceSource> makeProcess(ProcId proc) const;
+
+    /**
+     * Latches protecting the hot migratory metadata this engine
+     * actually bounces between processors: branch balances, teller
+     * balances, and the redo copy latches.  This is the lock set the
+     * hint-insertion pass (paper section 4.2) targets.
+     */
+    std::vector<Addr> hotLatches() const;
+
+  private:
+    OltpParams p_;
+    SgaLayout layout_;
+    LockDirectory locks_;
+    CodeLayout code_;
+};
+
+} // namespace dbsim::workload
+
+#endif // DBSIM_WORKLOAD_OLTP_ENGINE_HPP

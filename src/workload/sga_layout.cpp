@@ -1,0 +1,41 @@
+#include "workload/sga_layout.hpp"
+
+#include "common/log.hpp"
+
+namespace dbsim::workload {
+
+SgaLayout::SgaLayout(const SgaParams &params) : p_(params)
+{
+    if (p_.block_bytes == 0 || p_.buffer_blocks == 0)
+        DBSIM_FATAL("SGA block buffer must be non-empty");
+}
+
+Addr
+SgaLayout::metadata(std::uint64_t offset) const
+{
+    return kMetadataBase + (offset % p_.metadata_bytes);
+}
+
+Addr
+SgaLayout::bufferBlock(std::uint32_t block, std::uint32_t offset) const
+{
+    DBSIM_ASSERT(block < p_.buffer_blocks, "buffer block out of range");
+    return kBufferBase +
+           static_cast<Addr>(block) * p_.block_bytes +
+           (offset % p_.block_bytes);
+}
+
+Addr
+SgaLayout::log(std::uint64_t offset) const
+{
+    return kLogBase + (offset % p_.log_buffer_bytes);
+}
+
+Addr
+SgaLayout::privateMem(ProcId proc, std::uint64_t offset) const
+{
+    return kPrivateBase + proc * kPrivateStride +
+           (offset % p_.private_bytes);
+}
+
+} // namespace dbsim::workload

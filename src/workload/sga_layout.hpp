@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Address-space layout of the synthetic database engine ("MiniDB").
+ *
+ * Mirrors the structure of Oracle's memory use described in the paper
+ * (section 2.1): a shared System Global Area consisting of a block
+ * buffer area (cache of database disk blocks) and a metadata area
+ * (buffer directory, latches, and inter-process communication /
+ * synchronization state), plus the code segment, a shared redo-log
+ * buffer, and per-process private memory.  All addresses are virtual;
+ * the simulator's bin-hopping page map assigns physical pages and
+ * CC-NUMA homes on first touch.
+ */
+
+#ifndef DBSIM_WORKLOAD_SGA_LAYOUT_HPP
+#define DBSIM_WORKLOAD_SGA_LAYOUT_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dbsim::workload {
+
+/** Sizing of the simulated database memory (scaled; see DESIGN.md). */
+struct SgaParams
+{
+    std::uint64_t code_bytes = 80 * 1024;      ///< instruction footprint
+    std::uint32_t block_bytes = 2048;          ///< database block size
+    std::uint32_t buffer_blocks = 8192;        ///< block buffer entries (16 MB)
+    std::uint64_t metadata_bytes = 2 * 1024 * 1024;
+    std::uint64_t log_buffer_bytes = 512 * 1024;
+    std::uint64_t private_bytes = 64 * 1024;   ///< per-process private area
+};
+
+/**
+ * Region map.  Regions are placed at fixed virtual bases far apart; the
+ * page map materializes only touched pages.
+ */
+class SgaLayout
+{
+  public:
+    explicit SgaLayout(const SgaParams &params = {});
+
+    static constexpr Addr kCodeBase = 0x0001'0000'0000ull;
+    static constexpr Addr kMetadataBase = 0x0002'0000'0000ull;
+    static constexpr Addr kBufferBase = 0x0003'0000'0000ull;
+    static constexpr Addr kLogBase = 0x0004'0000'0000ull;
+    static constexpr Addr kPrivateBase = 0x0005'0000'0000ull;
+    static constexpr Addr kPrivateStride = 0x0000'0100'0000ull; // 16 MB
+
+    const SgaParams &params() const { return p_; }
+
+    /** Byte address inside the metadata area. */
+    Addr metadata(std::uint64_t offset) const;
+
+    /** Byte address inside block @p block of the buffer area. */
+    Addr bufferBlock(std::uint32_t block, std::uint32_t offset) const;
+
+    /** Byte address inside the redo-log buffer (wraps). */
+    Addr log(std::uint64_t offset) const;
+
+    /** Byte address inside process @p proc's private area (wraps). */
+    Addr privateMem(ProcId proc, std::uint64_t offset) const;
+
+  private:
+    SgaParams p_;
+};
+
+} // namespace dbsim::workload
+
+#endif // DBSIM_WORKLOAD_SGA_LAYOUT_HPP

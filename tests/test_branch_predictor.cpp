@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the hybrid PA/g branch predictor, BTB and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "cpu/branch_predictor.hpp"
+
+namespace dbsim::cpu {
+namespace {
+
+using trace::OpClass;
+using trace::TraceRecord;
+
+TraceRecord
+branch(OpClass op, Addr pc, bool taken = false, Addr target = 0)
+{
+    TraceRecord r;
+    r.op = op;
+    r.pc = pc;
+    r.taken = taken;
+    r.extra = target;
+    return r;
+}
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += !bp.predict(branch(OpClass::BranchCond, 0x1000, true));
+    EXPECT_LE(wrong, 3); // warmup only
+}
+
+TEST(BranchPredictor, LearnsAlternatingPattern)
+{
+    // A strict T/N/T/N pattern is exactly what two-level history
+    // predictors exist for.
+    BranchPredictor bp;
+    int wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        wrong +=
+            !bp.predict(branch(OpClass::BranchCond, 0x2000, i % 2 == 0));
+    }
+    EXPECT_LT(wrong, 40); // converges after warmup
+}
+
+TEST(BranchPredictor, BiasedSitesLowMispredict)
+{
+    BranchPredictor bp;
+    Rng rng(1);
+    std::uint64_t wrong = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const Addr pc = 0x3000 + rng.below(256) * 8;
+        const bool taken = rng.chance((pc >> 3) & 1 ? 0.95 : 0.05);
+        wrong += !bp.predict(branch(OpClass::BranchCond, pc, taken));
+    }
+    EXPECT_LT(static_cast<double>(wrong) / n, 0.12);
+}
+
+TEST(BranchPredictor, BtbLearnsFixedTargets)
+{
+    BranchPredictor bp;
+    // First encounter misses, later ones hit.
+    EXPECT_FALSE(bp.predict(branch(OpClass::BranchJmp, 0x100, false, 0x900)));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(
+            bp.predict(branch(OpClass::BranchJmp, 0x100, false, 0x900)));
+}
+
+TEST(BranchPredictor, BtbDetectsChangedTarget)
+{
+    BranchPredictor bp;
+    bp.predict(branch(OpClass::BranchJmp, 0x100, false, 0x900));
+    EXPECT_TRUE(bp.predict(branch(OpClass::BranchJmp, 0x100, false, 0x900)));
+    EXPECT_FALSE(
+        bp.predict(branch(OpClass::BranchJmp, 0x100, false, 0xA00)));
+    EXPECT_TRUE(bp.predict(branch(OpClass::BranchJmp, 0x100, false, 0xA00)));
+}
+
+TEST(BranchPredictor, RasPredictsMatchedCallReturn)
+{
+    BranchPredictor bp;
+    bp.predict(branch(OpClass::BranchCall, 0x100, false, 0x900));
+    EXPECT_TRUE(
+        bp.predict(branch(OpClass::BranchRet, 0x950, false, 0x104)));
+}
+
+TEST(BranchPredictor, RasHandlesNesting)
+{
+    BranchPredictor bp;
+    bp.predict(branch(OpClass::BranchCall, 0x100, false, 0x900)); // ra 0x104
+    bp.predict(branch(OpClass::BranchCall, 0x910, false, 0xB00)); // ra 0x914
+    EXPECT_TRUE(
+        bp.predict(branch(OpClass::BranchRet, 0xB50, false, 0x914)));
+    EXPECT_TRUE(
+        bp.predict(branch(OpClass::BranchRet, 0x950, false, 0x104)));
+}
+
+TEST(BranchPredictor, RasMispredictsOnUnderflow)
+{
+    BranchPredictor bp;
+    EXPECT_FALSE(
+        bp.predict(branch(OpClass::BranchRet, 0x950, false, 0x104)));
+    EXPECT_EQ(bp.stats().ret_mispredicts, 1u);
+}
+
+TEST(BranchPredictor, RasWrapsAtCapacity)
+{
+    BranchPredParams p;
+    p.ras_entries = 4;
+    BranchPredictor bp(p);
+    for (Addr i = 0; i < 6; ++i) {
+        bp.predict(branch(OpClass::BranchCall, 0x100 + i * 0x10, false,
+                          0x900));
+    }
+    // The deepest returns were overwritten; the four most recent match.
+    for (int i = 5; i >= 2; --i) {
+        EXPECT_TRUE(bp.predict(branch(
+            OpClass::BranchRet, 0x950, false,
+            0x100 + static_cast<Addr>(i) * 0x10 + 4)));
+    }
+}
+
+TEST(BranchPredictor, PerfectModeNeverWrong)
+{
+    BranchPredParams p;
+    p.perfect = true;
+    BranchPredictor bp(p);
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(bp.predict(branch(OpClass::BranchCond,
+                                      rng.below(1 << 20) * 4,
+                                      rng.chance(0.5))));
+    }
+    EXPECT_EQ(bp.stats().mispredicts(), 0u);
+    EXPECT_EQ(bp.stats().cond_lookups, 1000u);
+}
+
+TEST(BranchPredictor, StatsRatesAndReset)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 10; ++i)
+        bp.predict(branch(OpClass::BranchCond, 0x100, true));
+    EXPECT_EQ(bp.stats().cond_lookups, 10u);
+    const double r = bp.stats().rate();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    bp.resetStats();
+    EXPECT_EQ(bp.stats().lookups(), 0u);
+}
+
+TEST(BranchPredictor, RejectsNonPow2Tables)
+{
+    BranchPredParams p;
+    p.pa_entries = 1000;
+    EXPECT_THROW(BranchPredictor{p}, std::runtime_error);
+}
+
+} // namespace
+} // namespace dbsim::cpu

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "memory/cache.hpp"
+
+namespace dbsim::mem {
+namespace {
+
+TEST(CacheArray, Geometry)
+{
+    CacheArray c(16 * 1024, 2, 64);
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.lineBytes(), 64u);
+    EXPECT_EQ(c.assoc(), 2u);
+}
+
+TEST(CacheArray, RejectsBadGeometry)
+{
+    EXPECT_THROW(CacheArray(1000, 2, 64), std::runtime_error);
+    EXPECT_THROW(CacheArray(1024, 2, 60), std::runtime_error);
+    EXPECT_THROW(CacheArray(1024, 0, 64), std::runtime_error);
+}
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0x100).has_value());
+    c.insert(0x100, CoherState::Shared);
+    const auto st = c.access(0x100);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(*st, CoherState::Shared);
+}
+
+TEST(CacheArray, SubBlockAddressesShareLine)
+{
+    CacheArray c(1024, 2, 64);
+    c.insert(0x140, CoherState::Exclusive);
+    EXPECT_TRUE(c.contains(0x141));
+    EXPECT_TRUE(c.contains(0x17f));
+    EXPECT_FALSE(c.contains(0x180));
+}
+
+TEST(CacheArray, LruEviction)
+{
+    // Direct construction of a conflict: 2-way set, three lines mapping
+    // to the same set.
+    CacheArray c(1024, 2, 64); // 8 sets; stride 512 maps to same set
+    c.insert(0x0, CoherState::Shared);
+    c.insert(0x200, CoherState::Shared);
+    (void)c.access(0x0); // make 0x0 most recent
+    const auto ev = c.insert(0x400, CoherState::Shared);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->block, 0x200u); // LRU victim
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x400));
+    EXPECT_FALSE(c.contains(0x200));
+}
+
+TEST(CacheArray, EvictionReportsVictimState)
+{
+    CacheArray c(1024, 1, 64); // direct-mapped, 16 sets
+    c.insert(0x0, CoherState::Modified);
+    const auto ev = c.insert(0x400, CoherState::Shared); // same set
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->state, CoherState::Modified);
+}
+
+TEST(CacheArray, ReinsertUpdatesStateWithoutEviction)
+{
+    CacheArray c(1024, 2, 64);
+    c.insert(0x80, CoherState::Shared);
+    const auto ev = c.insert(0x80, CoherState::Modified);
+    EXPECT_FALSE(ev.has_value());
+    EXPECT_EQ(c.state(0x80), CoherState::Modified);
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+TEST(CacheArray, SetStateAndInvalidate)
+{
+    CacheArray c(1024, 2, 64);
+    c.insert(0xc0, CoherState::Exclusive);
+    c.setState(0xc0, CoherState::Shared);
+    EXPECT_EQ(c.state(0xc0), CoherState::Shared);
+    EXPECT_EQ(c.invalidate(0xc0), CoherState::Shared);
+    EXPECT_FALSE(c.contains(0xc0));
+    EXPECT_EQ(c.invalidate(0xc0), CoherState::Invalid);
+}
+
+TEST(CacheArray, SetStateOnAbsentLineIsNoop)
+{
+    CacheArray c(1024, 2, 64);
+    c.setState(0x40, CoherState::Modified);
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(CacheArray, CapacityNeverExceeded)
+{
+    CacheArray c(4096, 4, 64); // 64 lines
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        c.insert(rng.below(1 << 20) * 64, CoherState::Shared);
+    EXPECT_LE(c.validLines(), 64u);
+}
+
+// Property: a working set that fits one set's associativity never
+// evicts within that set.
+TEST(CacheArray, NoEvictionWithinAssociativity)
+{
+    CacheArray c(8192, 4, 64); // 32 sets
+    // Four lines in the same set (stride = sets * line = 2048).
+    for (int i = 0; i < 4; ++i)
+        c.insert(static_cast<Addr>(i) * 2048, CoherState::Shared);
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(c.access(static_cast<Addr>(i) * 2048).has_value());
+    }
+}
+
+// Property test: the cache behaves identically to a reference model
+// over random insert/access/invalidate sequences (presence only).
+TEST(CacheArray, MatchesReferenceModelPresence)
+{
+    CacheArray c(2048, 2, 64); // 16 sets, 32 lines
+    Rng rng(99);
+    // Reference: per set, track up to 2 most-recently-used blocks.
+    std::vector<std::vector<Addr>> ref(16);
+    auto set_of = [](Addr blk) { return (blk / 64) % 16; };
+
+    for (int i = 0; i < 20000; ++i) {
+        const Addr blk = rng.below(256) * 64;
+        auto &s = ref[set_of(blk)];
+        const auto op = rng.below(3);
+        if (op == 0) {
+            // insert
+            c.insert(blk, CoherState::Shared);
+            auto it = std::find(s.begin(), s.end(), blk);
+            if (it != s.end())
+                s.erase(it);
+            s.insert(s.begin(), blk);
+            if (s.size() > 2)
+                s.pop_back();
+        } else if (op == 1) {
+            const bool hit = c.access(blk).has_value();
+            auto it = std::find(s.begin(), s.end(), blk);
+            EXPECT_EQ(hit, it != s.end()) << "iter " << i;
+            if (it != s.end()) {
+                s.erase(it);
+                s.insert(s.begin(), blk);
+            }
+        } else {
+            c.invalidate(blk);
+            auto it = std::find(s.begin(), s.end(), blk);
+            if (it != s.end())
+                s.erase(it);
+        }
+    }
+}
+
+} // namespace
+} // namespace dbsim::mem

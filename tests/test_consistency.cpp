@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the consistency-policy predicates (SC / PC / RC and
+ * the optimized-implementation flags).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/consistency.hpp"
+
+namespace dbsim::cpu {
+namespace {
+
+TEST(Consistency, NamesDistinct)
+{
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::SC), "SC");
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::PC), "PC");
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::RC), "RC");
+}
+
+TEST(Consistency, ScSerializesEverything)
+{
+    ConsistencyPolicy sc(ConsistencyModel::SC);
+    EXPECT_TRUE(sc.loadMayIssue(true, true));
+    EXPECT_FALSE(sc.loadMayIssue(false, true));
+    EXPECT_FALSE(sc.loadMayIssue(true, false));
+    EXPECT_TRUE(sc.storeMayIssue(true, true));
+    EXPECT_FALSE(sc.storeMayIssue(true, false));
+    EXPECT_TRUE(sc.loadBlocksRetire());
+    EXPECT_TRUE(sc.storeBlocksRetire());
+}
+
+TEST(Consistency, PcLoadsBypassStores)
+{
+    ConsistencyPolicy pc(ConsistencyModel::PC);
+    // Loads may bypass pending stores but not pending loads.
+    EXPECT_TRUE(pc.loadMayIssue(true, false));
+    EXPECT_FALSE(pc.loadMayIssue(false, true));
+    // Stores stay ordered behind everything older.
+    EXPECT_FALSE(pc.storeMayIssue(true, false));
+    EXPECT_FALSE(pc.storeMayIssue(false, true));
+    EXPECT_TRUE(pc.storeMayIssue(true, true));
+    // PC retires stores into the (FIFO) write buffer.
+    EXPECT_TRUE(pc.loadBlocksRetire());
+    EXPECT_FALSE(pc.storeBlocksRetire());
+}
+
+TEST(Consistency, RcUnordered)
+{
+    ConsistencyPolicy rc(ConsistencyModel::RC);
+    EXPECT_TRUE(rc.loadMayIssue(false, false));
+    EXPECT_TRUE(rc.storeMayIssue(false, false));
+    EXPECT_FALSE(rc.loadBlocksRetire());
+    EXPECT_FALSE(rc.storeBlocksRetire());
+}
+
+TEST(Consistency, OptimizationFlags)
+{
+    ConsistencyPolicy plain(ConsistencyModel::SC);
+    EXPECT_FALSE(plain.prefetchBlocked());
+    EXPECT_FALSE(plain.speculativeLoads());
+
+    ConsistencyPolicy pf(ConsistencyModel::SC, {true, false});
+    EXPECT_TRUE(pf.prefetchBlocked());
+    EXPECT_FALSE(pf.speculativeLoads());
+
+    ConsistencyPolicy spec(ConsistencyModel::SC, {true, true});
+    EXPECT_TRUE(spec.prefetchBlocked());
+    EXPECT_TRUE(spec.speculativeLoads());
+}
+
+// Property: RC is never more restrictive than PC, and PC never more
+// restrictive than SC, across all predicate inputs.
+TEST(Consistency, MonotonicStrictness)
+{
+    ConsistencyPolicy sc(ConsistencyModel::SC);
+    ConsistencyPolicy pc(ConsistencyModel::PC);
+    ConsistencyPolicy rc(ConsistencyModel::RC);
+    for (const bool lds : {false, true}) {
+        for (const bool sts : {false, true}) {
+            EXPECT_GE(pc.loadMayIssue(lds, sts), sc.loadMayIssue(lds, sts));
+            EXPECT_GE(rc.loadMayIssue(lds, sts), pc.loadMayIssue(lds, sts));
+            EXPECT_GE(pc.storeMayIssue(lds, sts),
+                      sc.storeMayIssue(lds, sts));
+            EXPECT_GE(rc.storeMayIssue(lds, sts),
+                      pc.storeMayIssue(lds, sts));
+        }
+    }
+}
+
+} // namespace
+} // namespace dbsim::cpu

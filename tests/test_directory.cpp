@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the MESI directory coherence fabric, using fake cache
+ * sites.  Verifies protocol state transitions, latency classes and
+ * ordering, writebacks, and the flush primitive's two variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coherence/directory.hpp"
+
+namespace dbsim::coher {
+namespace {
+
+/** A fake node cache: tracks per-block state and invalidation calls. */
+class FakeSite : public CacheSite
+{
+  public:
+    mem::CoherState
+    siteState(Addr block) override
+    {
+        auto it = state.find(block);
+        return it == state.end() ? mem::CoherState::Invalid : it->second;
+    }
+
+    void
+    siteInvalidate(Addr block) override
+    {
+        state.erase(block);
+        ++invalidations;
+    }
+
+    void
+    siteDowngrade(Addr block) override
+    {
+        auto it = state.find(block);
+        if (it != state.end())
+            it->second = mem::CoherState::Shared;
+        ++downgrades;
+    }
+
+    std::map<Addr, mem::CoherState> state;
+    int invalidations = 0;
+    int downgrades = 0;
+};
+
+class DirectoryTest : public ::testing::Test
+{
+  protected:
+    DirectoryTest() : fabric(4)
+    {
+        for (std::uint32_t i = 0; i < 4; ++i)
+            fabric.attachSite(i, &site[i]);
+    }
+
+    /** Mirror a grant into the fake site like a real L2 fill would. */
+    FabricResult
+    read(std::uint32_t n, Addr blk, std::uint32_t home, Cycles now)
+    {
+        const auto r = fabric.read(n, blk, home, now, 0x1000);
+        site[n].state[blk] = r.grant;
+        return r;
+    }
+
+    FabricResult
+    write(std::uint32_t n, Addr blk, std::uint32_t home, Cycles now)
+    {
+        const auto r = fabric.write(n, blk, home, now, 0x2000);
+        site[n].state[blk] = r.grant;
+        return r;
+    }
+
+    CoherenceFabric fabric;
+    FakeSite site[4];
+};
+
+TEST_F(DirectoryTest, ColdReadGrantsExclusive)
+{
+    const auto r = read(0, 0x1000, 0, 0);
+    EXPECT_EQ(r.cls, AccessClass::LocalMem);
+    EXPECT_EQ(r.grant, mem::CoherState::Exclusive);
+    EXPECT_TRUE(fabric.cached(0x1000));
+}
+
+TEST_F(DirectoryTest, RemoteReadClassifiedRemote)
+{
+    const auto r = read(1, 0x1000, 0, 0);
+    EXPECT_EQ(r.cls, AccessClass::RemoteMem);
+}
+
+TEST_F(DirectoryTest, SecondReaderDowngradesCleanExclusive)
+{
+    read(0, 0x1000, 0, 0);
+    const auto r = read(1, 0x1000, 0, 100);
+    EXPECT_EQ(r.grant, mem::CoherState::Shared);
+    // Clean-exclusive downgrades are serviced by memory, not dirty.
+    EXPECT_NE(r.cls, AccessClass::RemoteDirty);
+    EXPECT_EQ(site[0].downgrades, 1);
+    EXPECT_EQ(site[0].siteState(0x1000), mem::CoherState::Shared);
+}
+
+TEST_F(DirectoryTest, DirtyReadIsCacheToCache)
+{
+    write(0, 0x1000, 0, 0); // node 0 owns Modified
+    const auto r = read(1, 0x1000, 0, 100);
+    EXPECT_EQ(r.cls, AccessClass::RemoteDirty);
+    EXPECT_EQ(site[0].siteState(0x1000), mem::CoherState::Shared);
+    EXPECT_EQ(fabric.stats().reads_dirty, 1u);
+}
+
+TEST_F(DirectoryTest, WriteInvalidatesSharers)
+{
+    read(0, 0x2000, 0, 0);
+    read(1, 0x2000, 0, 10);
+    read(2, 0x2000, 0, 20);
+    const auto r = write(3, 0x2000, 0, 100);
+    EXPECT_EQ(r.grant, mem::CoherState::Modified);
+    EXPECT_EQ(site[0].siteState(0x2000), mem::CoherState::Invalid);
+    EXPECT_EQ(site[1].siteState(0x2000), mem::CoherState::Invalid);
+    EXPECT_EQ(site[2].siteState(0x2000), mem::CoherState::Invalid);
+    EXPECT_GE(fabric.stats().invalidations_sent, 3u);
+}
+
+TEST_F(DirectoryTest, UpgradeFromSharedCountsUpgrade)
+{
+    read(0, 0x2000, 0, 0);
+    read(1, 0x2000, 0, 10);
+    write(0, 0x2000, 0, 50);
+    EXPECT_EQ(fabric.stats().upgrades, 1u);
+    EXPECT_EQ(site[1].siteState(0x2000), mem::CoherState::Invalid);
+}
+
+TEST_F(DirectoryTest, WriteToDirtyRemoteIsDirtyTransfer)
+{
+    write(0, 0x3000, 1, 0);
+    const auto r = write(2, 0x3000, 1, 100);
+    EXPECT_EQ(r.cls, AccessClass::RemoteDirty);
+    EXPECT_EQ(site[0].siteState(0x3000), mem::CoherState::Invalid);
+    EXPECT_EQ(fabric.stats().writes_dirty, 1u);
+}
+
+TEST_F(DirectoryTest, LatencyOrderingLocalRemoteDirty)
+{
+    // Contentionless latencies must order: local < remote < dirty.
+    const Cycles local = read(0, 0x100, 0, 0).ready - 0;
+    const Cycles remote = read(1, 0x200, 0, 0).ready - 0;
+    write(2, 0x300, 0, 0);
+    const Cycles dirty = read(3, 0x300, 0, 10000).ready - 10000;
+    EXPECT_LT(local, remote);
+    EXPECT_LT(remote, dirty);
+    // Rough magnitudes (paper figure 1, minus the L2 probe):
+    EXPECT_NEAR(static_cast<double>(local), 80.0, 25.0);
+    EXPECT_NEAR(static_cast<double>(remote), 150.0, 40.0);
+    EXPECT_NEAR(static_cast<double>(dirty), 270.0, 60.0);
+}
+
+TEST_F(DirectoryTest, EvictDirtyWritesBack)
+{
+    write(0, 0x4000, 0, 0);
+    fabric.evict(0, 0x4000, 0, /*dirty=*/true, 100);
+    EXPECT_EQ(fabric.stats().writebacks, 1u);
+    EXPECT_FALSE(fabric.cached(0x4000));
+    // Next reader is serviced by memory.
+    const auto r = read(1, 0x4000, 0, 200);
+    EXPECT_EQ(r.cls, AccessClass::RemoteMem);
+}
+
+TEST_F(DirectoryTest, EvictSharedDropsSharer)
+{
+    read(0, 0x5000, 0, 0);
+    read(1, 0x5000, 0, 10);
+    fabric.evict(1, 0x5000, 0, false, 50);
+    // Node 1 gone; a write by node 0 should not invalidate node 1.
+    site[1].invalidations = 0;
+    write(0, 0x5000, 0, 100);
+    EXPECT_EQ(site[1].invalidations, 0);
+}
+
+TEST_F(DirectoryTest, FlushKeepsCleanCopyAndMemoryServicesNextRead)
+{
+    write(0, 0x6000, 1, 0);
+    const Cycles done = fabric.flush(0, 0x6000, 1, 100);
+    EXPECT_NE(done, kNever);
+    EXPECT_EQ(fabric.stats().flushes, 1u);
+    EXPECT_EQ(site[0].siteState(0x6000), mem::CoherState::Shared);
+    const auto r = read(2, 0x6000, 1, 500);
+    EXPECT_NE(r.cls, AccessClass::RemoteDirty);
+}
+
+TEST_F(DirectoryTest, FlushOnNonOwnedIsNoop)
+{
+    read(0, 0x7000, 0, 0);
+    site[0].state[0x7000] = mem::CoherState::Shared;
+    fabric.evict(0, 0x7000, 0, false, 10);
+    EXPECT_EQ(fabric.flush(1, 0x7000, 0, 100), kNever);
+    EXPECT_EQ(fabric.stats().flushes, 0u);
+}
+
+TEST_F(DirectoryTest, FlushOnCleanExclusiveIsNoop)
+{
+    read(0, 0x8000, 0, 0); // granted E, never written
+    EXPECT_EQ(fabric.flush(0, 0x8000, 0, 100), kNever);
+}
+
+TEST(DirectoryVariants, InvalidatingFlushRemovesCopy)
+{
+    FabricParams params;
+    params.flush_invalidates = true;
+    CoherenceFabric fabric(2, params);
+    FakeSite s0, s1;
+    fabric.attachSite(0, &s0);
+    fabric.attachSite(1, &s1);
+
+    const auto w = fabric.write(0, 0x100, 0, 0, 0);
+    s0.state[0x100] = w.grant;
+    fabric.flush(0, 0x100, 0, 50);
+    EXPECT_EQ(s0.siteState(0x100), mem::CoherState::Invalid);
+    EXPECT_FALSE(fabric.cached(0x100));
+}
+
+TEST(DirectoryVariants, MigratoryReadDiscountApplies)
+{
+    FabricParams fast;
+    fast.migratory_read_factor = 0.6;
+    CoherenceFabric f_fast(2, fast);
+    CoherenceFabric f_slow(2, FabricParams{});
+    FakeSite fa[2], sa[2];
+    for (int i = 0; i < 2; ++i) {
+        f_fast.attachSite(i, &fa[i]);
+        f_slow.attachSite(i, &sa[i]);
+    }
+
+    // Build migratory history on both fabrics (write 0 -> read 1 ->
+    // write 1 marks the line migratory), then measure the next dirty
+    // read of the migratory line.
+    auto drive = [](CoherenceFabric &f, FakeSite *s) -> Cycles {
+        s[0].state[0x40] = f.write(0, 0x40, 0, 0, 1).grant;
+        s[1].state[0x40] = f.read(1, 0x40, 0, 1000, 2).grant;
+        s[1].state[0x40] = f.write(1, 0x40, 0, 2000, 3).grant;
+        const auto r = f.read(0, 0x40, 0, 10000, 4);
+        s[0].state[0x40] = r.grant;
+        return r.ready - 10000;
+    };
+    const Cycles t_fast = drive(f_fast, fa);
+    const Cycles t_slow = drive(f_slow, sa);
+    EXPECT_TRUE(f_fast.migratory().isMigratory(0x40));
+    EXPECT_LT(t_fast, t_slow);
+    EXPECT_NEAR(static_cast<double>(t_fast),
+                0.6 * static_cast<double>(t_slow),
+                0.05 * static_cast<double>(t_slow));
+}
+
+} // namespace
+} // namespace dbsim::coher

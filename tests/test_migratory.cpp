@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the migratory-data detector (the paper's heuristic:
+ * exclusive request + two cached copies + different last writer).
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/migratory.hpp"
+
+namespace dbsim::coher {
+namespace {
+
+TEST(Migratory, MarksOnHeuristicConditions)
+{
+    MigratoryDetector d;
+    // The marking happens on the observing call itself.
+    EXPECT_TRUE(d.observeWrite(0x100, 2, /*last_writer=*/0,
+                               /*requester=*/1, true, 0x40));
+    EXPECT_TRUE(d.isMigratory(0x100));
+    EXPECT_EQ(d.stats().lines_marked, 1u);
+}
+
+TEST(Migratory, WaitNoMarkingReturnsFalseUntilMarked)
+{
+    MigratoryDetector d;
+    // copies != 2: no marking
+    d.observeWrite(0x200, 1, 0, 1, false, 0x40);
+    EXPECT_FALSE(d.isMigratory(0x200));
+    d.observeWrite(0x200, 3, 0, 1, true, 0x40);
+    EXPECT_FALSE(d.isMigratory(0x200));
+    // same requester as last writer: no marking
+    d.observeWrite(0x200, 2, 1, 1, true, 0x40);
+    EXPECT_FALSE(d.isMigratory(0x200));
+    // no known last writer: no marking
+    d.observeWrite(0x200, 2, -1, 1, true, 0x40);
+    EXPECT_FALSE(d.isMigratory(0x200));
+    // all conditions met
+    d.observeWrite(0x200, 2, 0, 1, true, 0x40);
+    EXPECT_TRUE(d.isMigratory(0x200));
+}
+
+TEST(Migratory, FractionsCounted)
+{
+    MigratoryDetector d;
+    d.observeWrite(0x100, 2, 0, 1, true, 0x40); // marks
+    d.observeWrite(0x100, 2, 1, 0, true, 0x40); // migratory shared write
+    d.observeWrite(0x300, 1, -1, 0, false, 0x44); // not shared
+    d.observeWrite(0x400, 3, 0, 1, true, 0x48);  // shared, not migratory
+
+    EXPECT_EQ(d.stats().shared_writes, 3u);
+    EXPECT_EQ(d.stats().migratory_writes, 2u);
+    EXPECT_NEAR(d.stats().writeFraction(), 2.0 / 3.0, 1e-9);
+
+    d.observeDirtyRead(0x100, 0x50);
+    d.observeDirtyRead(0x999, 0x54);
+    EXPECT_EQ(d.stats().dirty_reads, 2u);
+    EXPECT_EQ(d.stats().migratory_dirty_reads, 1u);
+    EXPECT_DOUBLE_EQ(d.stats().dirtyReadFraction(), 0.5);
+}
+
+TEST(Migratory, LineConcentration)
+{
+    MigratoryDetector d;
+    // Two migratory lines; 9 of 10 write references to the first.
+    d.observeWrite(0x100, 2, 0, 1, true, 0x40);
+    d.observeWrite(0x200, 2, 0, 1, true, 0x40);
+    for (int i = 0; i < 8; ++i)
+        d.observeWrite(0x100, 2, i % 2, (i + 1) % 2, true, 0x40);
+    // 0x100 has 9 refs, 0x200 has 1: 70% of refs covered by 1 of 2 lines.
+    EXPECT_DOUBLE_EQ(d.lineConcentration(0.70), 0.5);
+    EXPECT_DOUBLE_EQ(d.lineConcentration(1.0), 1.0);
+}
+
+TEST(Migratory, PcConcentration)
+{
+    MigratoryDetector d;
+    d.observeWrite(0x100, 2, 0, 1, true, 0xA0); // marks; pc A0
+    for (int i = 0; i < 9; ++i)
+        d.observeDirtyRead(0x100, 0xA0);
+    d.observeDirtyRead(0x100, 0xB0);
+    d.observeDirtyRead(0x100, 0xC0);
+    // 12 refs total over 3 PCs; pc A0 holds 10 => 75% needs 1 of 3.
+    EXPECT_NEAR(d.pcConcentration(0.75), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Migratory, EmptyConcentrationsAreZero)
+{
+    MigratoryDetector d;
+    EXPECT_DOUBLE_EQ(d.lineConcentration(0.7), 0.0);
+    EXPECT_DOUBLE_EQ(d.pcConcentration(0.75), 0.0);
+}
+
+TEST(Migratory, StickyMarking)
+{
+    MigratoryDetector d;
+    d.observeWrite(0x100, 2, 0, 1, true, 0x40);
+    ASSERT_TRUE(d.isMigratory(0x100));
+    // Later non-matching observations do not unmark.
+    d.observeWrite(0x100, 4, 1, 1, true, 0x40);
+    EXPECT_TRUE(d.isMigratory(0x100));
+}
+
+} // namespace
+} // namespace dbsim::coher

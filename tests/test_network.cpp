@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the interconnect: reservation resources and the
+ * wormhole mesh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/network.hpp"
+
+namespace dbsim::net {
+namespace {
+
+TEST(Resource, UncontendedAcquire)
+{
+    Resource r;
+    EXPECT_EQ(r.acquire(10, 5), 15u);
+    EXPECT_EQ(r.busyUntil(), 15u);
+    EXPECT_EQ(r.totalWait(), 0u);
+}
+
+TEST(Resource, QueuesBehindHolder)
+{
+    Resource r;
+    r.acquire(0, 10);
+    EXPECT_EQ(r.acquire(5, 10), 20u); // waits until 10
+    EXPECT_EQ(r.totalWait(), 5u);
+    EXPECT_EQ(r.acquisitions(), 2u);
+}
+
+TEST(Resource, NoWaitWhenIdle)
+{
+    Resource r;
+    r.acquire(0, 10);
+    EXPECT_EQ(r.acquire(50, 10), 60u);
+    EXPECT_EQ(r.totalWait(), 0u);
+}
+
+TEST(Mesh, HopsOn2x2)
+{
+    Mesh m(4);
+    // Layout: 0 1 / 2 3.
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 1), 1u);
+    EXPECT_EQ(m.hops(0, 2), 1u);
+    EXPECT_EQ(m.hops(0, 3), 2u);
+    EXPECT_EQ(m.hops(3, 0), 2u);
+}
+
+TEST(Mesh, LocalTransferFree)
+{
+    Mesh m(4);
+    EXPECT_EQ(m.transfer(2, 2, 5, 100), 100u);
+}
+
+TEST(Mesh, LatencyScalesWithHops)
+{
+    Mesh m(4);
+    const Cycles one = m.control(0, 1, 0);
+    Mesh m2(4);
+    const Cycles two = m2.control(0, 3, 0);
+    EXPECT_GT(two, one);
+}
+
+TEST(Mesh, DataCostsMoreThanControl)
+{
+    Mesh a(4), b(4);
+    EXPECT_GT(b.data(0, 1, 0), a.control(0, 1, 0));
+}
+
+TEST(Mesh, ContentionOnSharedLink)
+{
+    Mesh m(4);
+    const Cycles first = m.data(0, 1, 0);
+    const Cycles second = m.data(0, 1, 0);
+    EXPECT_GT(second, first);
+    EXPECT_GT(m.totalLinkWait(), 0u);
+}
+
+TEST(Mesh, DisjointLinksNoContention)
+{
+    Mesh m(4);
+    const Cycles a = m.control(0, 1, 0);
+    const Cycles b = m.control(2, 3, 0); // different link
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(m.totalLinkWait(), 0u);
+}
+
+TEST(Mesh, SingleNodeMesh)
+{
+    Mesh m(1);
+    EXPECT_EQ(m.transfer(0, 0, 9, 42), 42u);
+}
+
+TEST(Mesh, RejectsBadNode)
+{
+    Mesh m(4);
+    EXPECT_DEATH((void)m.hops(0, 7), "bad node");
+}
+
+TEST(Mesh, DeterministicLatency)
+{
+    Mesh a(4), b(4);
+    for (std::uint32_t s = 0; s < 4; ++s)
+        for (std::uint32_t d = 0; d < 4; ++d)
+            EXPECT_EQ(a.control(s, d, 1000), b.control(s, d, 1000));
+}
+
+} // namespace
+} // namespace dbsim::net

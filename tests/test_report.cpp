@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the breakdown accounting type and the report printers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "sim/breakdown.hpp"
+
+namespace dbsim {
+namespace {
+
+using core::BreakdownRow;
+using sim::Breakdown;
+using sim::StallCat;
+
+Breakdown
+sample(double busy, double dirty, double instr)
+{
+    Breakdown b;
+    b.add(StallCat::Busy, busy);
+    b.add(StallCat::ReadDirty, dirty);
+    b.add(StallCat::Instr, instr);
+    return b;
+}
+
+TEST(Breakdown, ComponentSums)
+{
+    Breakdown b;
+    b.add(StallCat::Busy, 10);
+    b.add(StallCat::Fu, 5);
+    b.add(StallCat::ReadL2, 3);
+    b.add(StallCat::ReadDirty, 7);
+    b.add(StallCat::Itlb, 2);
+    b.add(StallCat::Idle, 100);
+    EXPECT_DOUBLE_EQ(b.cpu(), 15.0);
+    EXPECT_DOUBLE_EQ(b.read(), 10.0);
+    EXPECT_DOUBLE_EQ(b.instr(), 2.0);
+    // Idle excluded from total.
+    EXPECT_DOUBLE_EQ(b.total(), 27.0);
+}
+
+TEST(Breakdown, AccumulateAndReset)
+{
+    Breakdown a = sample(1, 2, 3);
+    Breakdown b = sample(10, 20, 30);
+    a += b;
+    EXPECT_DOUBLE_EQ(a[StallCat::Busy], 11.0);
+    EXPECT_DOUBLE_EQ(a[StallCat::ReadDirty], 22.0);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.total(), 0.0);
+}
+
+TEST(Breakdown, NamesDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < sim::kNumStallCats; ++i)
+        names.insert(sim::stallCatName(static_cast<StallCat>(i)));
+    EXPECT_EQ(names.size(), sim::kNumStallCats);
+}
+
+TEST(Breakdown, ToStringListsAllCategories)
+{
+    const std::string s = sample(1, 2, 3).toString();
+    EXPECT_NE(s.find("busy"), std::string::npos);
+    EXPECT_NE(s.find("read_dirty"), std::string::npos);
+    EXPECT_NE(s.find("idle"), std::string::npos);
+}
+
+TEST(Report, ExecutionBarsNormalizeToFirstRow)
+{
+    std::vector<BreakdownRow> rows;
+    rows.push_back({"base", sample(50, 30, 20), 100});
+    rows.push_back({"half", sample(25, 15, 10), 100});
+    std::ostringstream os;
+    core::printExecutionBars(os, rows);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("base"), std::string::npos);
+    EXPECT_NE(out.find("100.0"), std::string::npos);
+    EXPECT_NE(out.find("50.0"), std::string::npos);
+}
+
+TEST(Report, ExecutionBarsNormalizePerInstruction)
+{
+    // Same total cycles but double the instructions = half the bar.
+    std::vector<BreakdownRow> rows;
+    rows.push_back({"base", sample(100, 0, 0), 100});
+    rows.push_back({"2x-instr", sample(100, 0, 0), 200});
+    std::ostringstream os;
+    core::printExecutionBars(os, rows);
+    EXPECT_NE(os.str().find("50.0"), std::string::npos);
+}
+
+TEST(Report, CompositionBarsRowsSumTo100)
+{
+    std::vector<BreakdownRow> rows;
+    rows.push_back({"a", sample(40, 40, 20), 100});
+    std::ostringstream os;
+    core::printCompositionBars(os, rows);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("40.0"), std::string::npos);
+    EXPECT_NE(out.find("20.0"), std::string::npos);
+}
+
+TEST(Report, ReadStallBarsShowDirtyComponent)
+{
+    std::vector<BreakdownRow> rows;
+    rows.push_back({"a", sample(50, 25, 25), 100});
+    std::ostringstream os;
+    core::printReadStallBars(os, rows);
+    EXPECT_NE(os.str().find("25.0"), std::string::npos);
+}
+
+TEST(Report, OccupancyPrintsSeries)
+{
+    stats::OccupancyTracker occ(4);
+    occ.advance(0, 2);
+    occ.advance(10, 0);
+    std::ostringstream os;
+    core::printOccupancy(os, "test", occ, 4);
+    EXPECT_NE(os.str().find("1.000"), std::string::npos);
+}
+
+TEST(Report, EmptyRowsAreSafe)
+{
+    std::ostringstream os;
+    core::printExecutionBars(os, {});
+    core::printReadStallBars(os, {});
+    core::printCompositionBars(os, {});
+    EXPECT_TRUE(os.str().find("nan") == std::string::npos);
+}
+
+TEST(Report, HeaderUnderlines)
+{
+    std::ostringstream os;
+    core::printHeader(os, "Title");
+    EXPECT_NE(os.str().find("-----"), std::string::npos);
+}
+
+} // namespace
+} // namespace dbsim

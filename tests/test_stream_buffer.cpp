@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the instruction stream buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/stream_buffer.hpp"
+
+namespace dbsim::mem {
+namespace {
+
+TEST(StreamBuffer, DisabledNeverHits)
+{
+    StreamBuffer sb(0, 64);
+    EXPECT_FALSE(sb.enabled());
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    EXPECT_FALSE(sb.probe(0x1000, 10, ready, refills));
+    EXPECT_TRUE(refills.empty());
+    EXPECT_EQ(sb.stats().probes, 0u);
+}
+
+TEST(StreamBuffer, MissArmsSequentialPrefetches)
+{
+    StreamBuffer sb(4, 64);
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    EXPECT_FALSE(sb.probe(0x1000, 0, ready, refills));
+    ASSERT_EQ(refills.size(), 4u);
+    EXPECT_EQ(refills[0], 0x1040u);
+    EXPECT_EQ(refills[1], 0x1080u);
+    EXPECT_EQ(refills[2], 0x10c0u);
+    EXPECT_EQ(refills[3], 0x1100u);
+    EXPECT_EQ(sb.stats().prefetches, 4u);
+}
+
+TEST(StreamBuffer, SequentialHitAfterFill)
+{
+    StreamBuffer sb(4, 64);
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    sb.probe(0x1000, 0, ready, refills);
+    for (const Addr b : refills)
+        sb.fill(b, 30);
+
+    refills.clear();
+    EXPECT_TRUE(sb.probe(0x1040, 10, ready, refills));
+    EXPECT_EQ(ready, 30u); // prefetch still in flight
+    ASSERT_EQ(refills.size(), 1u); // top-up
+    EXPECT_EQ(refills[0], 0x1140u);
+    EXPECT_DOUBLE_EQ(sb.stats().hitRate(), 0.5);
+}
+
+TEST(StreamBuffer, HitAfterReadyUsesProbeTime)
+{
+    StreamBuffer sb(2, 64);
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    sb.probe(0x2000, 0, ready, refills);
+    for (const Addr b : refills)
+        sb.fill(b, 20);
+    refills.clear();
+    EXPECT_TRUE(sb.probe(0x2040, 100, ready, refills));
+    EXPECT_EQ(ready, 100u);
+}
+
+TEST(StreamBuffer, DeepHitSkipsAndCountsUseless)
+{
+    StreamBuffer sb(4, 64);
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    sb.probe(0x1000, 0, ready, refills);
+    for (const Addr b : refills)
+        sb.fill(b, 5);
+    refills.clear();
+    // Skip 0x1040, hit the second entry 0x1080.
+    EXPECT_TRUE(sb.probe(0x1080, 10, ready, refills));
+    EXPECT_EQ(sb.stats().useless, 1u);
+    EXPECT_EQ(refills.size(), 2u); // two slots freed, two prefetches
+}
+
+TEST(StreamBuffer, NonSequentialMissFlushes)
+{
+    StreamBuffer sb(4, 64);
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    sb.probe(0x1000, 0, ready, refills);
+    for (const Addr b : refills)
+        sb.fill(b, 5);
+    refills.clear();
+    EXPECT_FALSE(sb.probe(0x9000, 10, ready, refills));
+    EXPECT_EQ(sb.stats().flushes, 1u);
+    EXPECT_EQ(sb.stats().useless, 4u);
+    ASSERT_EQ(refills.size(), 4u);
+    EXPECT_EQ(refills[0], 0x9040u);
+}
+
+TEST(StreamBuffer, FollowsLongStream)
+{
+    StreamBuffer sb(2, 64);
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    sb.probe(0x4000, 0, ready, refills);
+    for (const Addr b : refills)
+        sb.fill(b, 1);
+    // Walk ten sequential lines; every probe after the first should hit.
+    for (int i = 1; i <= 10; ++i) {
+        refills.clear();
+        const Addr blk = 0x4000 + static_cast<Addr>(i) * 64;
+        EXPECT_TRUE(sb.probe(blk, i * 5, ready, refills)) << i;
+        for (const Addr b : refills)
+            sb.fill(b, i * 5 + 2);
+    }
+    EXPECT_EQ(sb.stats().hits, 10u);
+}
+
+TEST(StreamBuffer, FillWithoutSlotIsDropped)
+{
+    StreamBuffer sb(1, 64);
+    Cycles ready = 0;
+    std::vector<Addr> refills;
+    sb.probe(0x1000, 0, ready, refills); // arms prefetch of 0x1040
+    sb.fill(0x1040, 3);
+    sb.fill(0x5540, 9); // stale fill: no free slot, dropped silently
+    refills.clear();
+    EXPECT_TRUE(sb.probe(0x1040, 10, ready, refills));
+}
+
+} // namespace
+} // namespace dbsim::mem

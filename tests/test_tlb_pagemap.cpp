@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the TLBs and the bin-hopping, first-touch page map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memory/page_map.hpp"
+#include "memory/tlb.hpp"
+
+namespace dbsim::mem {
+namespace {
+
+TEST(Tlb, HitAfterMiss)
+{
+    Tlb tlb(4, 8192);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1fff)); // same page
+    EXPECT_FALSE(tlb.access(0x2000)); // next page
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2, 8192);
+    tlb.access(0x0000);  // page 0
+    tlb.access(0x2000);  // page 1
+    tlb.access(0x0000);  // touch page 0 (page 1 is now LRU)
+    tlb.access(0x4000);  // page 2 evicts page 1
+    EXPECT_TRUE(tlb.access(0x0000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, PerfectNeverMisses)
+{
+    Tlb tlb(0, 8192);
+    for (Addr a = 0; a < 100; ++a)
+        EXPECT_TRUE(tlb.access(a * 8192));
+    EXPECT_EQ(tlb.stats().misses, 0u);
+    EXPECT_EQ(tlb.stats().accesses, 100u);
+}
+
+TEST(Tlb, MissRate)
+{
+    Tlb tlb(128, 8192);
+    for (int i = 0; i < 64; ++i)
+        tlb.access(static_cast<Addr>(i) * 8192);
+    for (int r = 0; r < 3; ++r)
+        for (int i = 0; i < 64; ++i)
+            tlb.access(static_cast<Addr>(i) * 8192);
+    EXPECT_DOUBLE_EQ(tlb.stats().missRate(), 64.0 / 256.0);
+}
+
+TEST(Tlb, ResetClearsContents)
+{
+    Tlb tlb(8, 8192);
+    tlb.access(0x0);
+    tlb.reset();
+    EXPECT_FALSE(tlb.access(0x0));
+    EXPECT_EQ(tlb.stats().accesses, 1u);
+}
+
+TEST(PageMap, TranslationStable)
+{
+    PageMap pm(8192, 16, 4);
+    const Addr p1 = pm.translate(0x123456, 2);
+    const Addr p2 = pm.translate(0x123456, 3); // already mapped
+    EXPECT_EQ(p1, p2);
+}
+
+TEST(PageMap, OffsetPreserved)
+{
+    PageMap pm(8192, 16, 4);
+    const Addr p = pm.translate(0xabcdef, 0);
+    EXPECT_EQ(p & 8191u, 0xabcdefull & 8191u);
+}
+
+TEST(PageMap, DistinctPagesDistinctFrames)
+{
+    PageMap pm(8192, 16, 4);
+    std::set<Addr> frames;
+    for (Addr v = 0; v < 100; ++v)
+        frames.insert(pm.translate(v * 8192, 0) / 8192);
+    EXPECT_EQ(frames.size(), 100u);
+}
+
+TEST(PageMap, FirstTouchHome)
+{
+    PageMap pm(8192, 16, 4);
+    const Addr a = pm.translate(0x10000, 3);
+    EXPECT_EQ(pm.homeOf(a), 3u);
+    // Second toucher does not move the page.
+    const Addr b = pm.translate(0x10000, 1);
+    EXPECT_EQ(pm.homeOf(b), 3u);
+}
+
+TEST(PageMap, BinHoppingSpreadsSets)
+{
+    // Consecutive first-touched pages land in consecutive bins: the
+    // physical page number mod bins cycles.
+    PageMap pm(8192, 16, 1);
+    for (Addr v = 0; v < 32; ++v) {
+        const Addr p = pm.translate(v * 8192, 0);
+        EXPECT_EQ((p / 8192) % 16, v % 16);
+    }
+}
+
+TEST(PageMap, PagesTouchedCount)
+{
+    PageMap pm(8192, 16, 2);
+    pm.translate(0x0, 0);
+    pm.translate(0x100, 0); // same page
+    pm.translate(0x2000, 1);
+    EXPECT_EQ(pm.pagesTouched(), 2u);
+}
+
+TEST(PageMap, HomeWrapsNodeCount)
+{
+    PageMap pm(8192, 16, 2);
+    const Addr a = pm.translate(0x0, 7); // node id wraps mod 2
+    EXPECT_EQ(pm.homeOf(a), 1u);
+}
+
+} // namespace
+} // namespace dbsim::mem

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the trace layer: record classification, sources,
+ * limits, and binary serialization round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "trace/record.hpp"
+#include "trace/serialize.hpp"
+#include "trace/source.hpp"
+
+namespace dbsim::trace {
+namespace {
+
+TraceRecord
+rec(OpClass op, Addr pc = 0x1000, Addr va = kNoAddr)
+{
+    TraceRecord r;
+    r.op = op;
+    r.pc = pc;
+    r.vaddr = va;
+    return r;
+}
+
+TEST(Record, Classification)
+{
+    EXPECT_TRUE(isMemory(OpClass::Load));
+    EXPECT_TRUE(isMemory(OpClass::Store));
+    EXPECT_TRUE(isMemory(OpClass::LockAcquire));
+    EXPECT_TRUE(isMemory(OpClass::Flush));
+    EXPECT_FALSE(isMemory(OpClass::IntAlu));
+    EXPECT_FALSE(isMemory(OpClass::MemBarrier));
+    EXPECT_FALSE(isMemory(OpClass::SyscallBlock));
+
+    EXPECT_TRUE(isLoad(OpClass::Load));
+    EXPECT_TRUE(isLoad(OpClass::LockAcquire));
+    EXPECT_FALSE(isLoad(OpClass::Store));
+
+    EXPECT_TRUE(isStore(OpClass::Store));
+    EXPECT_TRUE(isStore(OpClass::LockRelease));
+    EXPECT_FALSE(isStore(OpClass::Load));
+
+    EXPECT_TRUE(isBranch(OpClass::BranchCond));
+    EXPECT_TRUE(isBranch(OpClass::BranchRet));
+    EXPECT_FALSE(isBranch(OpClass::Load));
+
+    EXPECT_TRUE(isHint(OpClass::Prefetch));
+    EXPECT_TRUE(isHint(OpClass::PrefetchExcl));
+    EXPECT_TRUE(isHint(OpClass::Flush));
+    EXPECT_FALSE(isHint(OpClass::Load));
+}
+
+TEST(Record, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+        names.insert(opClassName(static_cast<OpClass>(i)));
+    EXPECT_EQ(names.size(), kNumOpClasses);
+}
+
+TEST(Record, ToStringContainsClass)
+{
+    const auto s = toString(rec(OpClass::LockAcquire, 0x400, 0x999));
+    EXPECT_NE(s.find("LockAcquire"), std::string::npos);
+}
+
+TEST(VectorSource, DeliversInOrder)
+{
+    std::vector<TraceRecord> v{rec(OpClass::IntAlu, 0x10),
+                               rec(OpClass::Load, 0x14, 0x100),
+                               rec(OpClass::Store, 0x18, 0x104)};
+    VectorSource src(v);
+    TraceRecord r;
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.op, OpClass::IntAlu);
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.op, OpClass::Load);
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.op, OpClass::Store);
+    EXPECT_FALSE(src.next(r));
+    EXPECT_FALSE(src.next(r)); // stays exhausted
+}
+
+TEST(LimitSource, CapsDelivery)
+{
+    std::vector<TraceRecord> v(10, rec(OpClass::IntAlu));
+    LimitSource src(std::make_unique<VectorSource>(v), 4);
+    TraceRecord r;
+    int n = 0;
+    while (src.next(r))
+        ++n;
+    EXPECT_EQ(n, 4);
+    EXPECT_EQ(src.delivered(), 4u);
+}
+
+TEST(LimitSource, UnderlyingShorterThanLimit)
+{
+    std::vector<TraceRecord> v(3, rec(OpClass::IntAlu));
+    LimitSource src(std::make_unique<VectorSource>(v), 100);
+    TraceRecord r;
+    int n = 0;
+    while (src.next(r))
+        ++n;
+    EXPECT_EQ(n, 3);
+}
+
+class CountingSource : public GeneratingSource
+{
+  public:
+    explicit CountingSource(int batches) : batches_(batches) {}
+
+  protected:
+    void
+    refill() override
+    {
+        if (produced_ >= batches_) {
+            finish();
+            return;
+        }
+        for (int i = 0; i < 3; ++i) {
+            TraceRecord r;
+            r.op = OpClass::IntAlu;
+            r.pc = static_cast<Addr>(produced_ * 3 + i);
+            emit(r);
+        }
+        ++produced_;
+    }
+
+  private:
+    int batches_;
+    int produced_ = 0;
+};
+
+TEST(GeneratingSource, RefillsInBatches)
+{
+    CountingSource src(4);
+    TraceRecord r;
+    std::vector<Addr> pcs;
+    while (src.next(r))
+        pcs.push_back(r.pc);
+    ASSERT_EQ(pcs.size(), 12u);
+    for (std::size_t i = 0; i < pcs.size(); ++i)
+        EXPECT_EQ(pcs[i], i);
+}
+
+TEST(Serialize, RoundTripEmpty)
+{
+    std::stringstream ss;
+    save(ss, {});
+    EXPECT_TRUE(load(ss).empty());
+}
+
+TEST(Serialize, RoundTripRandomRecords)
+{
+    Rng rng(77);
+    std::vector<TraceRecord> v;
+    for (int i = 0; i < 500; ++i) {
+        TraceRecord r;
+        r.op = static_cast<OpClass>(rng.below(kNumOpClasses));
+        r.pc = rng.next();
+        r.vaddr = rng.next();
+        r.extra = rng.next();
+        r.dep1 = static_cast<std::uint8_t>(rng.below(256));
+        r.dep2 = static_cast<std::uint8_t>(rng.below(256));
+        r.taken = rng.chance(0.5);
+        v.push_back(r);
+    }
+    std::stringstream ss;
+    save(ss, v);
+    const auto back = load(ss);
+    EXPECT_EQ(back, v);
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "not a trace file at all";
+    EXPECT_THROW(load(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncated)
+{
+    std::vector<TraceRecord> v(5, TraceRecord{});
+    std::stringstream ss;
+    save(ss, v);
+    std::string s = ss.str();
+    s.resize(s.size() / 2);
+    std::stringstream cut(s);
+    EXPECT_THROW(load(cut), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    std::vector<TraceRecord> v{rec(OpClass::Load, 0x4, 0x8)};
+    const std::string path = "/tmp/dbsim_trace_test.bin";
+    saveFile(path, v);
+    EXPECT_EQ(loadFile(path), v);
+}
+
+} // namespace
+} // namespace dbsim::trace

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the synthetic workload engines: address-space layout, lock
+ * directory, code layout / trace builder, and the OLTP / DSS trace
+ * generators' structural invariants (lock pairing, call balance,
+ * region-confined addresses, determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/code_layout.hpp"
+#include "workload/dss_engine.hpp"
+#include "workload/lock_manager.hpp"
+#include "workload/oltp_engine.hpp"
+#include "workload/sga_layout.hpp"
+
+namespace dbsim::workload {
+namespace {
+
+using trace::OpClass;
+using trace::TraceRecord;
+
+// ---------------------------------------------------------------- SGA
+
+TEST(SgaLayout, RegionsDisjoint)
+{
+    SgaLayout lay;
+    EXPECT_LT(SgaLayout::kCodeBase, SgaLayout::kMetadataBase);
+    EXPECT_LT(lay.metadata(lay.params().metadata_bytes - 1),
+              SgaLayout::kBufferBase);
+    EXPECT_LT(lay.bufferBlock(lay.params().buffer_blocks - 1,
+                              lay.params().block_bytes - 1),
+              SgaLayout::kLogBase);
+    EXPECT_LT(lay.log(lay.params().log_buffer_bytes - 1),
+              SgaLayout::kPrivateBase);
+}
+
+TEST(SgaLayout, PrivateAreasPerProcessDisjoint)
+{
+    SgaLayout lay;
+    const Addr a = lay.privateMem(0, 0);
+    const Addr b = lay.privateMem(1, 0);
+    EXPECT_GE(b - a, lay.params().private_bytes);
+}
+
+TEST(SgaLayout, OffsetsWrap)
+{
+    SgaLayout lay;
+    EXPECT_EQ(lay.metadata(0), lay.metadata(lay.params().metadata_bytes));
+    EXPECT_EQ(lay.log(1), lay.log(lay.params().log_buffer_bytes + 1));
+}
+
+TEST(SgaLayout, BufferBlockRangeChecked)
+{
+    SgaLayout lay;
+    EXPECT_DEATH((void)lay.bufferBlock(lay.params().buffer_blocks, 0),
+                 "out of range");
+}
+
+// ------------------------------------------------------ LockDirectory
+
+TEST(LockDirectory, LatchesDistinct)
+{
+    SgaLayout lay;
+    LockDirectory ld(&lay, 40, 10, 512);
+    std::set<Addr> latches;
+    for (std::uint32_t b = 0; b < 40; ++b)
+        latches.insert(ld.branchLock(b));
+    for (std::uint32_t t = 0; t < 400; ++t)
+        latches.insert(ld.tellerLock(t));
+    for (std::uint32_t h = 0; h < 512; ++h)
+        latches.insert(ld.bucketLock(h));
+    latches.insert(ld.logLatch());
+    EXPECT_EQ(latches.size(), 40u + 400u + 512u + 1u);
+}
+
+TEST(LockDirectory, DataOnDifferentLineThanLatch)
+{
+    SgaLayout lay;
+    LockDirectory ld(&lay, 40, 10, 512);
+    for (std::uint32_t b = 0; b < 40; ++b) {
+        EXPECT_NE(blockAlign(ld.branchLock(b), 64),
+                  blockAlign(ld.branchData(b, 0), 64));
+    }
+}
+
+TEST(LockDirectory, DataStaysInsideSlot)
+{
+    SgaLayout lay;
+    LockDirectory ld(&lay, 40, 10, 512);
+    for (std::uint32_t w = 0; w < 64; ++w) {
+        const Addr d = ld.tellerData(7, w);
+        EXPECT_GE(d, ld.tellerLock(7));
+        EXPECT_LT(d, ld.tellerLock(7) + LockDirectory::kSlotBytes);
+    }
+}
+
+TEST(LockDirectory, HotLatchesCoverBranchesTellersLog)
+{
+    SgaLayout lay;
+    LockDirectory ld(&lay, 40, 10, 512);
+    const auto hot = ld.hotLatches();
+    EXPECT_EQ(hot.size(), 40u + 400u + 1u);
+}
+
+TEST(LockDirectory, RejectsOversizedDirectory)
+{
+    SgaParams sp;
+    sp.metadata_bytes = 4096;
+    SgaLayout lay(sp);
+    EXPECT_THROW(LockDirectory(&lay, 1000, 10, 512), std::runtime_error);
+}
+
+// -------------------------------------------------------- CodeLayout
+
+TEST(CodeLayout, RoutinesTileFootprint)
+{
+    CodeLayout code(0x10000, 64 * 1024, 42);
+    ASSERT_GT(code.numRoutines(), 10u);
+    Addr expect = 0x10000;
+    for (std::uint32_t r = 0; r < code.numRoutines(); ++r) {
+        EXPECT_EQ(code.routineStart(r), expect);
+        expect += static_cast<Addr>(code.routineInstrs(r)) * 4;
+    }
+    EXPECT_LE(expect, 0x10000 + 64 * 1024);
+    EXPECT_GE(expect, 0x10000 + 60 * 1024); // nearly full coverage
+}
+
+TEST(CodeLayout, DeterministicInSeed)
+{
+    CodeLayout a(0x10000, 32 * 1024, 7);
+    CodeLayout b(0x10000, 32 * 1024, 7);
+    CodeLayout c(0x10000, 32 * 1024, 8);
+    ASSERT_EQ(a.numRoutines(), b.numRoutines());
+    for (std::uint32_t r = 0; r < a.numRoutines(); ++r)
+        EXPECT_EQ(a.routineInstrs(r), b.routineInstrs(r));
+    bool differs = a.numRoutines() != c.numRoutines();
+    for (std::uint32_t r = 0;
+         !differs && r < std::min(a.numRoutines(), c.numRoutines()); ++r)
+        differs = a.routineInstrs(r) != c.routineInstrs(r);
+    EXPECT_TRUE(differs);
+}
+
+TEST(CodeLayout, RejectsTinyFootprint)
+{
+    EXPECT_THROW(CodeLayout(0, 1024, 1), std::runtime_error);
+}
+
+// ------------------------------------------------------ TraceBuilder
+
+std::vector<TraceRecord>
+build(std::function<void(TraceBuilder &)> f, std::uint64_t seed = 3)
+{
+    static CodeLayout code(0x10000, 32 * 1024, 11);
+    std::vector<TraceRecord> out;
+    Rng rng(seed);
+    TraceBuilder b(&code, &rng,
+                   [&out](const TraceRecord &r) { out.push_back(r); });
+    f(b);
+    return out;
+}
+
+TEST(TraceBuilder, ComputeEmitsRequestedWork)
+{
+    const auto recs = build([](TraceBuilder &b) { b.compute(50); });
+    // At least 50 records (fillers + embedded branches).
+    EXPECT_GE(recs.size(), 50u);
+    int alu = 0;
+    for (const auto &r : recs)
+        alu += r.op == OpClass::IntAlu;
+    EXPECT_GE(alu, 50);
+}
+
+TEST(TraceBuilder, PcsStayInsideCodeSegment)
+{
+    const auto recs = build([](TraceBuilder &b) {
+        for (int i = 0; i < 20; ++i) {
+            b.call();
+            b.compute(30);
+            b.ret();
+        }
+    });
+    for (const auto &r : recs) {
+        EXPECT_GE(r.pc, 0x10000u);
+        EXPECT_LT(r.pc, 0x10000u + 32 * 1024);
+    }
+}
+
+TEST(TraceBuilder, CallRetBalanced)
+{
+    const auto recs = build([](TraceBuilder &b) {
+        b.call();
+        b.compute(10);
+        b.call();
+        b.compute(10);
+        b.ret();
+        b.ret();
+    });
+    int depth = 0;
+    for (const auto &r : recs) {
+        if (r.op == OpClass::BranchCall)
+            ++depth;
+        if (r.op == OpClass::BranchRet) {
+            --depth;
+            EXPECT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceBuilder, LockPairEmitsFences)
+{
+    const auto recs = build([](TraceBuilder &b) {
+        b.lockAcquire(0x8000);
+        b.compute(5);
+        b.lockRelease(0x8000);
+    });
+    std::vector<OpClass> ops;
+    for (const auto &r : recs)
+        if (r.op != OpClass::IntAlu && r.op != OpClass::BranchCond &&
+            r.op != OpClass::BranchJmp)
+            ops.push_back(r.op);
+    ASSERT_GE(ops.size(), 4u);
+    EXPECT_EQ(ops[0], OpClass::LockAcquire);
+    EXPECT_EQ(ops[1], OpClass::MemBarrier);
+    EXPECT_EQ(ops[ops.size() - 2], OpClass::WriteBarrier);
+    EXPECT_EQ(ops.back(), OpClass::LockRelease);
+}
+
+TEST(TraceBuilder, MemOpCarriesAddressAndDep)
+{
+    const auto recs = build([](TraceBuilder &b) {
+        b.memOp(OpClass::Load, 0x1234);
+        b.memOp(OpClass::Load, 0x5678, 1);
+    });
+    std::vector<TraceRecord> loads;
+    for (const auto &r : recs)
+        if (r.op == OpClass::Load)
+            loads.push_back(r);
+    ASSERT_EQ(loads.size(), 2u);
+    EXPECT_EQ(loads[0].vaddr, 0x1234u);
+    EXPECT_EQ(loads[1].dep1, 1u);
+}
+
+TEST(TraceBuilder, TakenBranchesChangePc)
+{
+    const auto recs = build([](TraceBuilder &b) { b.compute(500); });
+    bool saw_taken_jump = false;
+    for (std::size_t i = 0; i + 1 < recs.size(); ++i) {
+        if (recs[i].op == OpClass::BranchCond && recs[i].taken) {
+            EXPECT_EQ(recs[i + 1].pc, recs[i].extra);
+            saw_taken_jump = true;
+        }
+    }
+    EXPECT_TRUE(saw_taken_jump);
+}
+
+// ------------------------------------------------------- OLTP engine
+
+std::vector<TraceRecord>
+drain(trace::TraceSource &src, int n)
+{
+    std::vector<TraceRecord> v;
+    TraceRecord r;
+    while (static_cast<int>(v.size()) < n && src.next(r))
+        v.push_back(r);
+    return v;
+}
+
+TEST(OltpEngine, LocksAlwaysPaired)
+{
+    OltpWorkload wl(OltpParams{});
+    auto src = wl.makeProcess(0);
+    const auto recs = drain(*src, 50000);
+    std::map<Addr, int> held;
+    for (const auto &r : recs) {
+        if (r.op == OpClass::LockAcquire) {
+            EXPECT_EQ(held[r.vaddr], 0) << "recursive acquire";
+            held[r.vaddr] = 1;
+        } else if (r.op == OpClass::LockRelease) {
+            EXPECT_EQ(held[r.vaddr], 1) << "release without acquire";
+            held[r.vaddr] = 0;
+        }
+    }
+}
+
+TEST(OltpEngine, AddressesConfinedToRegions)
+{
+    OltpWorkload wl(OltpParams{});
+    auto src = wl.makeProcess(3);
+    const auto recs = drain(*src, 30000);
+    for (const auto &r : recs) {
+        if (!trace::isMemory(r.op))
+            continue;
+        const bool in_known_region =
+            (r.vaddr >= SgaLayout::kMetadataBase &&
+             r.vaddr < SgaLayout::kBufferBase) ||
+            (r.vaddr >= SgaLayout::kBufferBase &&
+             r.vaddr < SgaLayout::kLogBase) ||
+            (r.vaddr >= SgaLayout::kLogBase &&
+             r.vaddr < SgaLayout::kPrivateBase) ||
+            r.vaddr >= SgaLayout::kPrivateBase;
+        EXPECT_TRUE(in_known_region) << trace::toString(r);
+    }
+}
+
+TEST(OltpEngine, PrivateAccessesUseOwnArea)
+{
+    OltpWorkload wl(OltpParams{});
+    auto src = wl.makeProcess(5);
+    const auto recs = drain(*src, 30000);
+    for (const auto &r : recs) {
+        if (!trace::isMemory(r.op) ||
+            r.vaddr < SgaLayout::kPrivateBase)
+            continue;
+        const auto proc_slot =
+            (r.vaddr - SgaLayout::kPrivateBase) / SgaLayout::kPrivateStride;
+        EXPECT_EQ(proc_slot, 5u);
+    }
+}
+
+TEST(OltpEngine, DeterministicPerSeedAndProcess)
+{
+    OltpWorkload wl(OltpParams{});
+    auto a = drain(*wl.makeProcess(2), 5000);
+    auto b = drain(*wl.makeProcess(2), 5000);
+    EXPECT_EQ(a, b);
+    auto c = drain(*wl.makeProcess(3), 5000);
+    EXPECT_NE(a, c);
+}
+
+TEST(OltpEngine, EmitsSyscallsAtGroupCommitRate)
+{
+    OltpParams p;
+    p.commits_per_group = 2;
+    OltpWorkload wl(p);
+    auto recs = drain(*wl.makeProcess(0), 100000);
+    int syscalls = 0;
+    for (const auto &r : recs)
+        syscalls += r.op == OpClass::SyscallBlock;
+    EXPECT_GT(syscalls, 3);
+}
+
+TEST(OltpEngine, InstructionMixReasonable)
+{
+    OltpWorkload wl(OltpParams{});
+    auto recs = drain(*wl.makeProcess(1), 60000);
+    std::uint64_t mem = 0, br = 0;
+    for (const auto &r : recs) {
+        mem += r.op == OpClass::Load || r.op == OpClass::Store;
+        br += trace::isBranch(r.op);
+    }
+    const double mem_frac = double(mem) / recs.size();
+    const double br_frac = double(br) / recs.size();
+    EXPECT_GT(mem_frac, 0.10);
+    EXPECT_LT(mem_frac, 0.45);
+    EXPECT_GT(br_frac, 0.08);
+    EXPECT_LT(br_frac, 0.30);
+}
+
+// -------------------------------------------------------- DSS engine
+
+TEST(DssEngine, PartitionsCoverTableWithoutOverlap)
+{
+    DssParams p;
+    p.num_procs = 4;
+    DssWorkload wl(p);
+    // Each process scans distinct blocks; verify via block-header loads.
+    std::set<Addr> seen;
+    for (ProcId proc = 0; proc < 4; ++proc) {
+        auto src = wl.makeProcess(proc);
+        auto recs = drain(*src, 20000);
+        for (const auto &r : recs) {
+            if (r.op != OpClass::Load || r.vaddr < SgaLayout::kBufferBase ||
+                r.vaddr >= SgaLayout::kLogBase)
+                continue;
+            const Addr blk =
+                (r.vaddr - SgaLayout::kBufferBase) / p.sga.block_bytes;
+            const std::uint32_t per = wl.tableBlocks() / 4;
+            EXPECT_EQ(blk / per, proc) << "block outside partition";
+            seen.insert(blk);
+        }
+    }
+    EXPECT_GT(seen.size(), 4u);
+}
+
+TEST(DssEngine, NoLockingActivity)
+{
+    DssWorkload wl(DssParams{});
+    auto recs = drain(*wl.makeProcess(0), 50000);
+    for (const auto &r : recs) {
+        EXPECT_NE(r.op, OpClass::LockAcquire);
+        EXPECT_NE(r.op, OpClass::SyscallBlock);
+    }
+}
+
+TEST(DssEngine, SourceEndsAfterPartition)
+{
+    DssParams p;
+    p.table_bytes = 64 * 1024; // tiny table
+    p.sga.buffer_blocks = 64;
+    p.num_procs = 2;
+    DssWorkload wl(p);
+    auto src = wl.makeProcess(0);
+    TraceRecord r;
+    std::uint64_t n = 0;
+    while (src->next(r))
+        ++n;
+    EXPECT_GT(n, 100u);
+    EXPECT_LT(n, 2'000'000u);
+}
+
+TEST(DssEngine, UsesFloatingPoint)
+{
+    DssWorkload wl(DssParams{});
+    auto recs = drain(*wl.makeProcess(0), 30000);
+    int fp = 0;
+    for (const auto &r : recs)
+        fp += r.op == OpClass::FpAlu;
+    EXPECT_GT(fp, 100);
+}
+
+TEST(DssEngine, DeterministicPerSeed)
+{
+    DssWorkload wl(DssParams{});
+    auto a = drain(*wl.makeProcess(1), 5000);
+    auto b = drain(*wl.makeProcess(1), 5000);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace dbsim::workload
