@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_streambuffer.dir/ablation_streambuffer.cpp.o"
+  "CMakeFiles/ablation_streambuffer.dir/ablation_streambuffer.cpp.o.d"
+  "ablation_streambuffer"
+  "ablation_streambuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_streambuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

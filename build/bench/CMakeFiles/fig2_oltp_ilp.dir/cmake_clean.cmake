@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_oltp_ilp.dir/fig2_oltp_ilp.cpp.o"
+  "CMakeFiles/fig2_oltp_ilp.dir/fig2_oltp_ilp.cpp.o.d"
+  "fig2_oltp_ilp"
+  "fig2_oltp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_oltp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

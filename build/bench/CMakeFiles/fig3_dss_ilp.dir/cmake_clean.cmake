@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dss_ilp.dir/fig3_dss_ilp.cpp.o"
+  "CMakeFiles/fig3_dss_ilp.dir/fig3_dss_ilp.cpp.o.d"
+  "fig3_dss_ilp"
+  "fig3_dss_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dss_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

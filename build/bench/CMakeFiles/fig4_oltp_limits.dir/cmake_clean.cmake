@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_oltp_limits.dir/fig4_oltp_limits.cpp.o"
+  "CMakeFiles/fig4_oltp_limits.dir/fig4_oltp_limits.cpp.o.d"
+  "fig4_oltp_limits"
+  "fig4_oltp_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_oltp_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_uni_vs_mp.dir/fig5_uni_vs_mp.cpp.o"
+  "CMakeFiles/fig5_uni_vs_mp.dir/fig5_uni_vs_mp.cpp.o.d"
+  "fig5_uni_vs_mp"
+  "fig5_uni_vs_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_uni_vs_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

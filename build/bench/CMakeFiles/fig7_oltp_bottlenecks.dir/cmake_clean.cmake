@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_oltp_bottlenecks.dir/fig7_oltp_bottlenecks.cpp.o"
+  "CMakeFiles/fig7_oltp_bottlenecks.dir/fig7_oltp_bottlenecks.cpp.o.d"
+  "fig7_oltp_bottlenecks"
+  "fig7_oltp_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_oltp_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

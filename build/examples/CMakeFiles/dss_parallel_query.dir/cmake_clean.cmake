@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_parallel_query.dir/dss_parallel_query.cpp.o"
+  "CMakeFiles/dss_parallel_query.dir/dss_parallel_query.cpp.o.d"
+  "dss_parallel_query"
+  "dss_parallel_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_parallel_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

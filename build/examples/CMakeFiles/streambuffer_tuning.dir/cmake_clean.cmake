@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streambuffer_tuning.dir/streambuffer_tuning.cpp.o"
+  "CMakeFiles/streambuffer_tuning.dir/streambuffer_tuning.cpp.o.d"
+  "streambuffer_tuning"
+  "streambuffer_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streambuffer_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/directory.cpp" "src/CMakeFiles/dbsim.dir/coherence/directory.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/coherence/directory.cpp.o.d"
+  "/root/repo/src/coherence/migratory.cpp" "src/CMakeFiles/dbsim.dir/coherence/migratory.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/coherence/migratory.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/dbsim.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dbsim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/dbsim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/dbsim.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/dbsim.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/dbsim.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/CMakeFiles/dbsim.dir/cpu/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/cpu/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/consistency.cpp" "src/CMakeFiles/dbsim.dir/cpu/consistency.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/cpu/consistency.cpp.o.d"
+  "/root/repo/src/cpu/func_units.cpp" "src/CMakeFiles/dbsim.dir/cpu/func_units.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/cpu/func_units.cpp.o.d"
+  "/root/repo/src/cpu/inorder_core.cpp" "src/CMakeFiles/dbsim.dir/cpu/inorder_core.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/cpu/inorder_core.cpp.o.d"
+  "/root/repo/src/cpu/ooo_core.cpp" "src/CMakeFiles/dbsim.dir/cpu/ooo_core.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/cpu/ooo_core.cpp.o.d"
+  "/root/repo/src/interconnect/network.cpp" "src/CMakeFiles/dbsim.dir/interconnect/network.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/interconnect/network.cpp.o.d"
+  "/root/repo/src/memory/cache.cpp" "src/CMakeFiles/dbsim.dir/memory/cache.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/memory/cache.cpp.o.d"
+  "/root/repo/src/memory/mshr.cpp" "src/CMakeFiles/dbsim.dir/memory/mshr.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/memory/mshr.cpp.o.d"
+  "/root/repo/src/memory/page_map.cpp" "src/CMakeFiles/dbsim.dir/memory/page_map.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/memory/page_map.cpp.o.d"
+  "/root/repo/src/memory/stream_buffer.cpp" "src/CMakeFiles/dbsim.dir/memory/stream_buffer.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/memory/stream_buffer.cpp.o.d"
+  "/root/repo/src/memory/tlb.cpp" "src/CMakeFiles/dbsim.dir/memory/tlb.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/memory/tlb.cpp.o.d"
+  "/root/repo/src/sim/breakdown.cpp" "src/CMakeFiles/dbsim.dir/sim/breakdown.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/sim/breakdown.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/CMakeFiles/dbsim.dir/sim/node.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/sim/node.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/dbsim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/dbsim.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/sim/system.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/dbsim.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/trace/record.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/CMakeFiles/dbsim.dir/trace/serialize.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/trace/serialize.cpp.o.d"
+  "/root/repo/src/trace/source.cpp" "src/CMakeFiles/dbsim.dir/trace/source.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/trace/source.cpp.o.d"
+  "/root/repo/src/workload/code_layout.cpp" "src/CMakeFiles/dbsim.dir/workload/code_layout.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/workload/code_layout.cpp.o.d"
+  "/root/repo/src/workload/dss_engine.cpp" "src/CMakeFiles/dbsim.dir/workload/dss_engine.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/workload/dss_engine.cpp.o.d"
+  "/root/repo/src/workload/hints.cpp" "src/CMakeFiles/dbsim.dir/workload/hints.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/workload/hints.cpp.o.d"
+  "/root/repo/src/workload/lock_manager.cpp" "src/CMakeFiles/dbsim.dir/workload/lock_manager.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/workload/lock_manager.cpp.o.d"
+  "/root/repo/src/workload/oltp_engine.cpp" "src/CMakeFiles/dbsim.dir/workload/oltp_engine.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/workload/oltp_engine.cpp.o.d"
+  "/root/repo/src/workload/sga_layout.cpp" "src/CMakeFiles/dbsim.dir/workload/sga_layout.cpp.o" "gcc" "src/CMakeFiles/dbsim.dir/workload/sga_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

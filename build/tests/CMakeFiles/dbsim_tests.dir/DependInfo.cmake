@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch_predictor.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_branch_predictor.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_branch_predictor.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_consistency.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_consistency.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_directory.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_directory.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_directory.cpp.o.d"
+  "/root/repo/tests/test_hints.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_hints.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_hints.cpp.o.d"
+  "/root/repo/tests/test_migratory.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_migratory.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_migratory.cpp.o.d"
+  "/root/repo/tests/test_mshr.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_mshr.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_mshr.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_stream_buffer.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_stream_buffer.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_stream_buffer.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_tlb_pagemap.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_tlb_pagemap.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_tlb_pagemap.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/dbsim_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/dbsim_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
