@@ -15,8 +15,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+#include "core/cli_guard.hpp"
+
+static int
+run()
 {
     using namespace dbsim;
     std::vector<core::BreakdownRow> rows;
@@ -61,4 +63,10 @@ main()
                     l1i_rates[i]);
     }
     return 0;
+}
+
+int
+main()
+{
+    return dbsim::core::guardedMain([] { return run(); });
 }

@@ -20,6 +20,8 @@
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 
+#include "core/cli_guard.hpp"
+
 using namespace dbsim;
 
 namespace {
@@ -87,8 +89,8 @@ characterizeOne(core::WorkloadKind kind, bool sharing)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bool sharing = false;
     bool oltp_only = false, dss_only = false;
@@ -106,4 +108,10 @@ main(int argc, char **argv)
     if (!oltp_only)
         characterizeOne(core::WorkloadKind::Dss, false);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

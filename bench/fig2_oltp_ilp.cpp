@@ -18,10 +18,18 @@
 
 #include "ilp_figure.hpp"
 
-int
-main(int argc, char **argv)
+#include "core/cli_guard.hpp"
+
+static int
+run(int argc, char **argv)
 {
     const bool occ = argc > 1 && !std::strcmp(argv[1], "--occupancy");
     dbsim::bench::runIlpFigure(dbsim::core::WorkloadKind::Oltp, occ);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

@@ -18,8 +18,10 @@
 
 #include "ilp_figure.hpp"
 
-int
-main(int argc, char **argv)
+#include "core/cli_guard.hpp"
+
+static int
+run(int argc, char **argv)
 {
     bool occ = false, funits = false;
     for (int i = 1; i < argc; ++i) {
@@ -46,4 +48,10 @@ main(int argc, char **argv)
 
     bench::runIlpFigure(core::WorkloadKind::Dss, occ);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

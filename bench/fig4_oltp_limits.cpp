@@ -13,8 +13,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+#include "core/cli_guard.hpp"
+
+static int
+run()
 {
     using namespace dbsim;
     using core::SimConfig;
@@ -51,4 +53,10 @@ main()
     std::cout << "\nread-stall magnification:\n";
     core::printReadStallBars(std::cout, rows);
     return 0;
+}
+
+int
+main()
+{
+    return dbsim::core::guardedMain([] { return run(); });
 }

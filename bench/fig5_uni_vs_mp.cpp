@@ -13,8 +13,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+#include "core/cli_guard.hpp"
+
+static int
+run()
 {
     using namespace dbsim;
 
@@ -38,4 +40,10 @@ main()
         core::printReadStallBars(std::cout, rows);
     }
     return 0;
+}
+
+int
+main()
+{
+    return dbsim::core::guardedMain([] { return run(); });
 }

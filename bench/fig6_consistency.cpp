@@ -17,8 +17,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+#include "core/cli_guard.hpp"
+
+static int
+run()
 {
     using namespace dbsim;
     using cpu::ConsistencyModel;
@@ -50,4 +52,10 @@ main()
         core::printExecutionBars(std::cout, rows);
     }
     return 0;
+}
+
+int
+main()
+{
+    return dbsim::core::guardedMain([] { return run(); });
 }

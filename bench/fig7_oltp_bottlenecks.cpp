@@ -22,6 +22,8 @@
 
 #include "bench_util.hpp"
 
+#include "core/cli_guard.hpp"
+
 using namespace dbsim;
 
 namespace {
@@ -125,8 +127,8 @@ partB()
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bool uni = false;
     for (int i = 1; i < argc; ++i) {
@@ -137,4 +139,10 @@ main(int argc, char **argv)
     if (!uni)
         partB();
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

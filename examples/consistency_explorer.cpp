@@ -21,10 +21,12 @@
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 
+#include "core/cli_guard.hpp"
+
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     core::WorkloadKind kind = core::WorkloadKind::Oltp;
     cpu::ConsistencyModel model = cpu::ConsistencyModel::SC;
@@ -78,4 +80,10 @@ main(int argc, char **argv)
                 100.0 * std::abs(mine / rc_cpi - 1.0),
                 mine >= rc_cpi ? "slower" : "faster");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

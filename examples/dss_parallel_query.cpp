@@ -19,6 +19,8 @@
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 
+#include "core/cli_guard.hpp"
+
 using namespace dbsim;
 
 namespace {
@@ -55,8 +57,8 @@ runScan(std::uint32_t nodes, std::uint32_t procs_per_cpu)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     if (argc > 1)
         g_budget = std::strtoull(argv[1], nullptr, 10);
@@ -90,4 +92,10 @@ main(int argc, char **argv)
                     100.0 * (rw.ipc / rb.ipc - 1.0));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

@@ -20,6 +20,8 @@
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 
+#include "core/cli_guard.hpp"
+
 using namespace dbsim;
 
 namespace {
@@ -50,8 +52,8 @@ runAndReport(core::SimConfig cfg, const std::string &label)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     if (argc > 1)
         g_budget = std::strtoull(argv[1], nullptr, 10);
@@ -107,4 +109,10 @@ main(int argc, char **argv)
                     100.0 * mig.pcConcentration(0.75));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

@@ -15,8 +15,10 @@
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 
-int
-main(int argc, char **argv)
+#include "core/cli_guard.hpp"
+
+static int
+run(int argc, char **argv)
 {
     using namespace dbsim;
 
@@ -55,4 +57,10 @@ main(int argc, char **argv)
                       : 0.0)
               << "\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

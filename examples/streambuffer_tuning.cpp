@@ -20,10 +20,12 @@
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 
+#include "core/cli_guard.hpp"
+
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     std::uint64_t budget = 1'000'000;
     if (argc > 1)
@@ -73,4 +75,10 @@ main(int argc, char **argv)
                  "are prefetched lines flushed unused\n(the L2 contention "
                  "cost of over-deep buffers).\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dbsim::core::guardedMain([&] { return run(argc, argv); });
 }

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "coherence/checker.hpp"
 #include "common/log.hpp"
 
 namespace dbsim::coher {
@@ -43,6 +44,25 @@ CoherenceFabric::cached(Addr block) const
     if (it == dir_.end())
         return false;
     return it->second.owner >= 0 || it->second.sharers != 0;
+}
+
+DirSnapshot
+CoherenceFabric::dirState(Addr block) const
+{
+    auto it = dir_.find(block);
+    if (it == dir_.end())
+        return {};
+    return {true, it->second.sharers, it->second.owner};
+}
+
+std::size_t
+CoherenceFabric::dirCachedEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &[block, e] : dir_)
+        if (e.owner >= 0 || e.sharers != 0)
+            ++n;
+    return n;
 }
 
 FabricResult
@@ -142,6 +162,8 @@ CoherenceFabric::read(std::uint32_t node, Addr block, std::uint32_t home,
         grant = cls == AccessClass::RemoteDirty ? mem::CoherState::Modified
                                                 : mem::CoherState::Exclusive;
     }
+    if (checker_)
+        checker_->noteTransaction(block, "read");
     return {t, cls, grant};
 }
 
@@ -243,6 +265,8 @@ CoherenceFabric::write(std::uint32_t node, Addr block, std::uint32_t home,
         ++stats_.writes_local;
     else if (cls == AccessClass::RemoteMem)
         ++stats_.writes_remote;
+    if (checker_)
+        checker_->noteTransaction(block, "write");
     return {t, cls, mem::CoherState::Modified};
 }
 
@@ -266,6 +290,8 @@ CoherenceFabric::evict(std::uint32_t node, Addr block, std::uint32_t home,
     } else {
         e.sharers &= ~(1u << node);
     }
+    if (checker_)
+        checker_->noteTransaction(block, "evict");
 }
 
 Cycles
@@ -301,6 +327,8 @@ CoherenceFabric::flush(std::uint32_t node, Addr block, std::uint32_t home,
     t = res_[home].dir.acquire(t, params_.dir_hold);
     t = res_[home].mem.acquire(t, params_.dram_hold);
     ++stats_.flushes;
+    if (checker_)
+        checker_->noteTransaction(block, "flush");
     return t;
 }
 

@@ -26,6 +26,17 @@
 
 namespace dbsim::coher {
 
+class CoherenceChecker;
+
+/** Read-only view of one directory entry (for the invariant checker
+ *  and diagnostics). */
+struct DirSnapshot
+{
+    bool present = false;      ///< directory has an entry for the block
+    std::uint32_t sharers = 0; ///< bitmask of nodes with Shared copies
+    int owner = -1;            ///< node holding E/M, or -1
+};
+
 /** Classification of where a data access was serviced. */
 enum class AccessClass : std::uint8_t {
     L1Hit,      ///< hit in the first-level cache
@@ -188,6 +199,30 @@ class CoherenceFabric
     /** True iff the directory believes @p block is cached somewhere. */
     bool cached(Addr block) const;
 
+    // ------------------------------------------------------------------
+    // Integrity-layer hooks
+    // ------------------------------------------------------------------
+
+    /**
+     * Attach an invariant checker; every subsequent transaction is
+     * recorded with it (nullptr detaches).  The checker is owned by the
+     * caller (sim::System) and must outlive the fabric or be detached.
+     */
+    void attachChecker(CoherenceChecker *checker) { checker_ = checker; }
+    CoherenceChecker *checker() const { return checker_; }
+
+    /** Snapshot of the directory entry for @p block (for audits/dumps). */
+    DirSnapshot dirState(Addr block) const;
+
+    /** The cache site attached for @p node (nullptr if none). */
+    CacheSite *site(std::uint32_t node) const { return sites_[node]; }
+
+    /** Number of blocks the directory currently tracks. */
+    std::size_t dirEntries() const { return dir_.size(); }
+
+    /** Number of tracked blocks the directory believes are cached. */
+    std::size_t dirCachedEntries() const;
+
   private:
     struct DirEntry
     {
@@ -213,6 +248,7 @@ class CoherenceFabric
     std::unordered_map<Addr, DirEntry> dir_;
     MigratoryDetector migratory_;
     FabricStats stats_;
+    CoherenceChecker *checker_ = nullptr;
 };
 
 } // namespace dbsim::coher

@@ -2,14 +2,105 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/errors.hpp"
 
 namespace dbsim {
+
+namespace {
+
+struct DumpEntry
+{
+    int handle;
+    std::string name;
+    std::function<std::string()> fn;
+};
+
+// The registry is deliberately simple (no locking): the simulator is
+// single-threaded and dumps are registered by long-lived objects
+// (System) around their lifetime.
+std::vector<DumpEntry> &
+dumpRegistry()
+{
+    static std::vector<DumpEntry> reg;
+    return reg;
+}
+
+PanicBehavior g_panic_behavior = PanicBehavior::Abort;
+
+/** Run every registered crash dump; returns the concatenated text. */
+std::string
+runCrashDumps()
+{
+    // Re-entrancy guard: a dump callback that itself panics must not
+    // recurse into the dump machinery.
+    static bool in_panic = false;
+    if (in_panic)
+        return {};
+    in_panic = true;
+    std::string all;
+    for (const auto &d : dumpRegistry()) {
+        all += "=== crash dump: " + d.name + " ===\n";
+        try {
+            all += d.fn();
+        } catch (const std::exception &e) {
+            all += std::string("(dump callback failed: ") + e.what() + ")";
+        } catch (...) {
+            all += "(dump callback failed)";
+        }
+        if (!all.empty() && all.back() != '\n')
+            all += '\n';
+    }
+    in_panic = false;
+    return all;
+}
+
+} // namespace
+
+void
+setPanicBehavior(PanicBehavior b)
+{
+    g_panic_behavior = b;
+}
+
+PanicBehavior
+panicBehavior()
+{
+    return g_panic_behavior;
+}
+
+int
+registerCrashDump(std::string name, std::function<std::string()> fn)
+{
+    static int next_handle = 1;
+    const int h = next_handle++;
+    dumpRegistry().push_back({h, std::move(name), std::move(fn)});
+    return h;
+}
+
+void
+unregisterCrashDump(int handle)
+{
+    auto &reg = dumpRegistry();
+    for (auto it = reg.begin(); it != reg.end(); ++it) {
+        if (it->handle == handle) {
+            reg.erase(it);
+            return;
+        }
+    }
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::ostringstream os;
+    os << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    os << runCrashDumps();
+    if (g_panic_behavior == PanicBehavior::Throw)
+        throw SimInvariantError(os.str());
+    std::cerr << os.str();
     std::abort();
 }
 

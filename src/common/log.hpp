@@ -5,11 +5,19 @@
  * panic()  -- an internal invariant was violated; this is a simulator bug.
  * fatal()  -- the user asked for something impossible (bad configuration).
  * warn()   -- something is off but the simulation can proceed.
+ *
+ * The panic path is hardened for diagnosability: components may register
+ * crash-dump callbacks (see registerCrashDump) that panicImpl runs before
+ * terminating, so an invariant failure deep in the machine still produces
+ * a full machine-state dump.  By default panic aborts the process; tests
+ * switch it to throwing SimInvariantError so they can assert on invariant
+ * violations (PanicThrowGuard provides scoped switching).
  */
 
 #ifndef DBSIM_COMMON_LOG_HPP
 #define DBSIM_COMMON_LOG_HPP
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,6 +26,42 @@ namespace dbsim {
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const char *file, int line, const std::string &msg);
+
+/** What DBSIM_PANIC does after running the registered crash dumps. */
+enum class PanicBehavior : std::uint8_t {
+    Abort, ///< print to stderr and std::abort() (default)
+    Throw, ///< throw SimInvariantError (for tests asserting on invariants)
+};
+
+void setPanicBehavior(PanicBehavior b);
+PanicBehavior panicBehavior();
+
+/**
+ * Register a callback producing a diagnostic dump to emit on panic.
+ * @param name  heading printed above the dump text
+ * @param fn    returns the dump; exceptions it throws are swallowed
+ * @return a handle for unregisterCrashDump()
+ */
+int registerCrashDump(std::string name, std::function<std::string()> fn);
+
+/** Remove a callback registered with registerCrashDump (no-op if gone). */
+void unregisterCrashDump(int handle);
+
+/** Scoped switch of the panic behavior to Throw (restores on exit). */
+class PanicThrowGuard
+{
+  public:
+    PanicThrowGuard() : prev_(panicBehavior())
+    {
+        setPanicBehavior(PanicBehavior::Throw);
+    }
+    ~PanicThrowGuard() { setPanicBehavior(prev_); }
+    PanicThrowGuard(const PanicThrowGuard &) = delete;
+    PanicThrowGuard &operator=(const PanicThrowGuard &) = delete;
+
+  private:
+    PanicBehavior prev_;
+};
 
 namespace detail {
 

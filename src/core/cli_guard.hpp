@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Entry-point guard for the bench and example executables.
+ *
+ * Every CLI wraps its body in guardedMain(), so a rejected configuration
+ * (ConfigError from the validate() layer) prints one actionable line and
+ * exits with status 2 instead of an unhandled-exception abort, and an
+ * integrity failure (SimInvariantError) exits with status 3 after its
+ * diagnostic dump.
+ */
+
+#ifndef DBSIM_CORE_CLI_GUARD_HPP
+#define DBSIM_CORE_CLI_GUARD_HPP
+
+#include <exception>
+#include <iostream>
+
+#include "common/errors.hpp"
+
+namespace dbsim::core {
+
+template <typename Fn>
+int
+guardedMain(Fn &&body)
+{
+    try {
+        return body();
+    } catch (const ConfigError &e) {
+        std::cerr << "dbsim: " << e.what() << "\n";
+        return 2;
+    } catch (const SimInvariantError &e) {
+        std::cerr << "dbsim: " << e.what() << "\n";
+        return 3;
+    } catch (const std::exception &e) {
+        std::cerr << "dbsim: fatal: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace dbsim::core
+
+#endif // DBSIM_CORE_CLI_GUARD_HPP

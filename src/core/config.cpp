@@ -1,10 +1,113 @@
 #include "core/config.hpp"
 
 #include <sstream>
+#include <string>
 
+#include "common/errors.hpp"
 #include "cpu/consistency.hpp"
 
 namespace dbsim::core {
+
+namespace {
+
+void
+validateSga(const std::string &prefix, const workload::SgaParams &sga)
+{
+    if (sga.block_bytes == 0) {
+        throw ConfigError(prefix + ".block_bytes",
+                          "a database block must hold at least one byte");
+    }
+    if (sga.buffer_blocks == 0) {
+        throw ConfigError(prefix + ".buffer_blocks",
+                          "the block buffer needs at least one block");
+    }
+    if (sga.code_bytes == 0) {
+        throw ConfigError(prefix + ".code_bytes",
+                          "the engine needs a nonzero instruction footprint");
+    }
+}
+
+} // namespace
+
+void
+SimConfig::validate() const
+{
+    system.validate();
+
+    if (total_instructions == 0) {
+        throw ConfigError("total_instructions",
+                          "the run budget must cover at least one "
+                          "instruction");
+    }
+    if (warmup_instructions >= total_instructions) {
+        throw ConfigError(
+            "warmup_instructions",
+            "warmup (" + std::to_string(warmup_instructions) +
+                ") must be smaller than the total budget (" +
+                std::to_string(total_instructions) +
+                "), or the measured window is empty");
+    }
+
+    const std::uint32_t procs =
+        workload == WorkloadKind::Oltp ? oltp.num_procs : dss.num_procs;
+    const std::string procs_field = workload == WorkloadKind::Oltp
+                                        ? "oltp.num_procs"
+                                        : "dss.num_procs";
+    if (procs == 0) {
+        throw ConfigError(procs_field,
+                          "the workload needs at least one process");
+    }
+    if (procs % system.num_nodes != 0) {
+        throw ConfigError(procs_field,
+                          std::to_string(procs) + " processes cannot be "
+                          "spread evenly over " +
+                              std::to_string(system.num_nodes) +
+                              " nodes; use a multiple of the node count");
+    }
+
+    if (workload == WorkloadKind::Oltp) {
+        validateSga("oltp.sga", oltp.sga);
+        if (oltp.branches == 0) {
+            throw ConfigError("oltp.branches",
+                              "TPC-B needs at least one branch");
+        }
+        if (oltp.hash_buckets == 0) {
+            throw ConfigError("oltp.hash_buckets",
+                              "the buffer hash table needs at least one "
+                              "bucket");
+        }
+        if (oltp.local_branch_prob < 0.0 || oltp.local_branch_prob > 1.0) {
+            throw ConfigError("oltp.local_branch_prob",
+                              "must be a probability in [0, 1], got " +
+                                  std::to_string(oltp.local_branch_prob));
+        }
+        if (oltp.commits_per_group == 0) {
+            throw ConfigError("oltp.commits_per_group",
+                              "group commit needs at least one transaction "
+                              "per log write");
+        }
+    } else {
+        validateSga("dss.sga", dss.sga);
+        if (dss.row_bytes == 0) {
+            throw ConfigError("dss.row_bytes",
+                              "a scanned row must touch at least one byte");
+        }
+        if (dss.table_bytes < dss.sga.block_bytes) {
+            throw ConfigError("dss.table_bytes",
+                              "the scanned relation (" +
+                                  std::to_string(dss.table_bytes) +
+                                  " bytes) must span at least one database "
+                                  "block (" +
+                                  std::to_string(dss.sga.block_bytes) +
+                                  " bytes)");
+        }
+        if (dss.selectivity < 0.0 || dss.selectivity > 1.0) {
+            throw ConfigError("dss.selectivity",
+                              "must be a fraction in [0, 1], got " +
+                                  std::to_string(dss.selectivity));
+        }
+    }
+}
 
 const char *
 workloadName(WorkloadKind k)

@@ -49,6 +49,16 @@ struct SimConfig
 
     /** Processes per CPU (8 for OLTP, 4 for DSS in the paper). */
     std::uint32_t procsPerCpu() const;
+
+    /**
+     * Structured validation; throws ConfigError (common/errors.hpp)
+     * naming the offending field.  Covers the machine parameters
+     * (delegates to SystemParams::validate()), the instruction budget
+     * versus warmup, and the workload's process-count and footprint
+     * constraints.  Called by the Simulation constructor before any
+     * simulation state is built.
+     */
+    void validate() const;
 };
 
 /** Scaled default configuration (see DESIGN.md scaling table). */

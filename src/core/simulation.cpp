@@ -5,7 +5,12 @@
 
 namespace dbsim::core {
 
-Simulation::Simulation(const SimConfig &cfg) : cfg_(cfg) {}
+Simulation::Simulation(const SimConfig &cfg) : cfg_(cfg)
+{
+    // Reject bad configurations before any simulation state exists --
+    // build() and run() may then assume a coherent parameter set.
+    cfg_.validate();
+}
 
 Simulation::~Simulation() = default;
 

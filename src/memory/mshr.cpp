@@ -100,6 +100,16 @@ MshrFile::earliestDone() const
     return t;
 }
 
+std::uint32_t
+MshrFile::unboundedEntries() const
+{
+    std::uint32_t n = 0;
+    for (const auto &e : entries_)
+        if (e.done == kNever)
+            ++n;
+    return n;
+}
+
 Cycles
 MshrFile::doneTimeOf(Addr block) const
 {

@@ -81,6 +81,13 @@ class MshrFile
     /** Earliest fill time among outstanding entries (kNever if empty). */
     Cycles earliestDone() const;
 
+    /**
+     * Outstanding entries whose fill time is kNever, i.e. misses that
+     * can never drain.  Always zero in a healthy machine; the integrity
+     * layer's end-of-run quiescence check panics otherwise.
+     */
+    std::uint32_t unboundedEntries() const;
+
     /** Fill time of the outstanding miss to @p block (kNever if none). */
     Cycles doneTimeOf(Addr block) const;
 

@@ -73,6 +73,19 @@ class StreamBuffer
      *  ready at @p ready. */
     void fill(Addr block, Cycles ready);
 
+    /** Valid entries whose ready time is kNever (a prefetch that can
+     *  never arrive).  Always zero in a healthy machine; checked by the
+     *  integrity layer's end-of-run quiescence audit. */
+    std::uint32_t
+    unboundedEntries() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &e : fifo_)
+            if (e.valid && e.ready == kNever)
+                ++n;
+        return n;
+    }
+
     const StreamBufferStats &stats() const { return stats_; }
 
   private:

@@ -1,0 +1,94 @@
+#include "sim/diagnostics.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "sim/system.hpp"
+
+namespace dbsim::sim {
+
+Cycles
+cyclesFromEnv(const char *name)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE ||
+        std::strchr(s, '-') != nullptr) {
+        DBSIM_WARN(name, "=\"", s,
+                   "\" is not a valid cycle count (expected a nonnegative "
+                   "decimal integer); ignoring it");
+        return 0;
+    }
+    return static_cast<Cycles>(v);
+}
+
+std::string
+progressLine(const System &sys)
+{
+    std::ostringstream os;
+    os << "[dbsim] cyc=" << sys.now() << " retired=" << sys.totalRetired();
+    for (std::uint32_t i = 0; i < sys.numNodes(); ++i) {
+        const cpu::Core &core = sys.core(i);
+        os << " cpu" << i << "(" << (core.current() ? "run" : "idle") << ","
+           << stallCatName(core.headCat()) << ") " << core.debugString();
+    }
+    return os.str();
+}
+
+std::string
+machineStateDump(const System &sys)
+{
+    const Scheduler &sched = sys.scheduler();
+    std::ostringstream os;
+    os << "machine state @ cycle " << sys.now()
+       << " (total retired=" << sys.totalRetired() << ")\n";
+    for (std::uint32_t i = 0; i < sys.numNodes(); ++i) {
+        const cpu::Core &core = sys.core(i);
+        const Node &node = sys.node(i);
+        os << "  cpu" << i << ": ";
+        if (const cpu::ProcessContext *p = core.current()) {
+            os << "running proc " << p->id() << " (retired=" << p->retired
+               << "), head stall=" << stallCatName(core.headCat()) << ", "
+               << core.debugString();
+        } else {
+            os << "idle";
+        }
+        os << "\n        sched: ready=" << sched.readyCount(i)
+           << " blocked=" << sched.blockedCount(i);
+        const Cycles wake = sched.nextWake(i);
+        os << " next_wake=";
+        if (wake == kNever)
+            os << "never";
+        else
+            os << wake;
+        const mem::MshrFile &l1d = node.l1dMshr();
+        const mem::MshrFile &l2 = node.l2Mshr();
+        os << "\n        l1d mshr " << l1d.inUse() << "/" << l1d.capacity();
+        if (l1d.inUse())
+            os << " (earliest fill @" << l1d.earliestDone() << ")";
+        os << ", l2 mshr " << l2.inUse() << "/" << l2.capacity();
+        if (l2.inUse())
+            os << " (earliest fill @" << l2.earliestDone() << ")";
+        if (node.streamBuffer().enabled()) {
+            os << ", sbuf stuck=" << node.streamBuffer().unboundedEntries();
+        }
+        os << "\n";
+    }
+    const coher::CoherenceFabric &fabric = sys.fabric();
+    os << "  directory: " << fabric.dirEntries() << " blocks tracked, "
+       << fabric.dirCachedEntries() << " believed cached; "
+       << fabric.stats().totalMisses() << " misses serviced ("
+       << fabric.stats().dirtyMisses() << " dirty), "
+       << fabric.stats().invalidations_sent << " invalidations, "
+       << fabric.stats().writebacks << " writebacks\n";
+    return os.str();
+}
+
+} // namespace dbsim::sim

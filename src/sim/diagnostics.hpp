@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Diagnostic machine-state dumps and progress tracing (the simulation
+ * integrity layer's observability half).
+ *
+ * machineStateDump() renders the whole machine -- per-CPU run state and
+ * head-of-window stall category, pipeline/window occupancy, MSHR and
+ * stream-buffer occupancy, scheduler queue depths and wake horizons, and
+ * directory population -- as human-readable text.  The System registers
+ * it as a crash-dump callback (common/log.hpp), so any DBSIM_PANIC during
+ * a run emits it, and the forward-progress watchdog embeds it in its
+ * panic message.
+ *
+ * progressLine() is the periodic one-line trace formerly printf'd by
+ * System::run under DBSIM_DEBUG; cyclesFromEnv() is the hardened parser
+ * for that knob (warns on garbage instead of silently reading 0).
+ */
+
+#ifndef DBSIM_SIM_DIAGNOSTICS_HPP
+#define DBSIM_SIM_DIAGNOSTICS_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dbsim::sim {
+
+class System;
+
+/**
+ * Parse a nonnegative cycle count from environment variable @p name.
+ * Returns 0 (feature disabled) when the variable is unset or empty.
+ * Invalid values -- non-numeric text, trailing junk, negative numbers,
+ * overflow -- emit a DBSIM_WARN naming the variable and also return 0,
+ * instead of strtoull's silent garbage-to-0 mapping.
+ */
+Cycles cyclesFromEnv(const char *name);
+
+/** One-line per-CPU progress summary for periodic DBSIM_DEBUG tracing. */
+std::string progressLine(const System &sys);
+
+/**
+ * Full machine-state dump: per-CPU head stall category and pipeline
+ * state, MSHR / stream-buffer occupancy, scheduler queue depths, and
+ * directory population.
+ */
+std::string machineStateDump(const System &sys);
+
+} // namespace dbsim::sim
+
+#endif // DBSIM_SIM_DIAGNOSTICS_HPP

@@ -115,6 +115,9 @@ class Node : public cpu::CoreMemIf, public coher::CacheSite
     void siteDowngrade(Addr block) override;
 
     const NodeStats &stats() const { return stats_; }
+    const mem::MshrFile &l1dMshr() const { return l1d_mshr_; }
+    const mem::MshrFile &l2Mshr() const { return l2_mshr_; }
+    const mem::StreamBuffer &streamBuffer() const { return sbuf_; }
     const mem::MshrStats &l1dMshrStats() const { return l1d_mshr_.stats(); }
     const mem::MshrStats &l2MshrStats() const { return l2_mshr_.stats(); }
     const mem::StreamBufferStats &streamBufferStats() const

@@ -60,6 +60,16 @@ class Scheduler
     /** True iff a Ready process is queued on @p cpu. */
     bool hasReady(CpuId cpu) const { return !queues_[cpu].ready.empty(); }
 
+    /** Ready-queue depth of @p cpu (for diagnostics). */
+    std::size_t readyCount(CpuId cpu) const { return queues_[cpu].ready.size(); }
+
+    /** Blocked-process count of @p cpu (for diagnostics). */
+    std::size_t
+    blockedCount(CpuId cpu) const
+    {
+        return queues_[cpu].blocked.size();
+    }
+
     std::uint32_t numCpus() const { return static_cast<std::uint32_t>(queues_.size()); }
 
   private:

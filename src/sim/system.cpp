@@ -1,15 +1,180 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
 
+#include "common/errors.hpp"
 #include "common/log.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace dbsim::sim {
 
+// ---------------------------------------------------------------------
+// Configuration validation
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+requirePow2(const std::string &field, std::uint64_t v)
+{
+    if (!isPow2(v)) {
+        throw ConfigError(field, "must be a nonzero power of two, got " +
+                                     std::to_string(v));
+    }
+}
+
+void
+requireNonzero(const std::string &field, std::uint64_t v, const char *why)
+{
+    if (v == 0)
+        throw ConfigError(field, std::string("must be at least 1; ") + why);
+}
+
+void
+validateCacheLevel(const std::string &prefix, const CacheLevelParams &p)
+{
+    requirePow2(prefix + ".size_bytes", p.size_bytes);
+    requirePow2(prefix + ".line_bytes", p.line_bytes);
+    requireNonzero(prefix + ".assoc", p.assoc,
+                   "a cache needs at least one way");
+    if (p.size_bytes %
+            (static_cast<std::uint64_t>(p.assoc) * p.line_bytes) !=
+        0) {
+        throw ConfigError(prefix + ".size_bytes",
+                          "size must be divisible by assoc * line_bytes (" +
+                              std::to_string(p.size_bytes) + " % (" +
+                              std::to_string(p.assoc) + " * " +
+                              std::to_string(p.line_bytes) + ") != 0)");
+    }
+    const std::uint64_t sets =
+        p.size_bytes / (static_cast<std::uint64_t>(p.assoc) * p.line_bytes);
+    if (!isPow2(sets)) {
+        throw ConfigError(prefix + ".size_bytes",
+                          "set count " + std::to_string(sets) +
+                              " must be a power of two; adjust size or "
+                              "associativity");
+    }
+    requireNonzero(prefix + ".mshrs", p.mshrs,
+                   "a lockup-free cache needs at least one MSHR");
+    if (p.mshrs > 64) {
+        throw ConfigError(prefix + ".mshrs",
+                          "at most 64 MSHRs are supported (occupancy "
+                          "statistics track 64 registers), got " +
+                              std::to_string(p.mshrs));
+    }
+}
+
+} // namespace
+
+void
+SystemParams::validate() const
+{
+    if (num_nodes < 1 || num_nodes > 32) {
+        throw ConfigError("system.num_nodes",
+                          "the coherence fabric supports 1..32 nodes (the "
+                          "directory keeps a 32-bit sharer mask), got " +
+                              std::to_string(num_nodes));
+    }
+
+    validateCacheLevel("system.node.l1i", node.l1i);
+    validateCacheLevel("system.node.l1d", node.l1d);
+    validateCacheLevel("system.node.l2", node.l2);
+    if (node.l1i.line_bytes != node.l2.line_bytes ||
+        node.l1d.line_bytes != node.l2.line_bytes) {
+        throw ConfigError("system.node.*.line_bytes",
+                          "all cache levels must share one line size "
+                          "(inclusion bookkeeping is per-line): l1i=" +
+                              std::to_string(node.l1i.line_bytes) +
+                              " l1d=" + std::to_string(node.l1d.line_bytes) +
+                              " l2=" + std::to_string(node.l2.line_bytes));
+    }
+    requireNonzero("system.node.l1d.ports", node.l1d.ports,
+                   "a portless L1D would never accept an access");
+
+    requirePow2("system.node.page_bytes", node.page_bytes);
+    if (node.page_bytes < node.l2.line_bytes) {
+        throw ConfigError("system.node.page_bytes",
+                          "a page must hold at least one cache line (" +
+                              std::to_string(node.page_bytes) + " < " +
+                              std::to_string(node.l2.line_bytes) + ")");
+    }
+    requireNonzero("system.node.itlb_entries", node.itlb_entries,
+                   "use perfect_itlb for an ideal iTLB instead of 0 entries");
+    requireNonzero("system.node.dtlb_entries", node.dtlb_entries,
+                   "use perfect_dtlb for an ideal dTLB instead of 0 entries");
+    if (node.stream_buffer_entries > 64) {
+        throw ConfigError("system.node.stream_buffer_entries",
+                          "at most 64 stream-buffer entries are supported, "
+                          "got " +
+                              std::to_string(node.stream_buffer_entries));
+    }
+
+    requireNonzero("system.core.issue_width", core.issue_width,
+                   "the core must issue at least one instruction per cycle");
+    requireNonzero("system.core.window_size", core.window_size,
+                   "the instruction window needs at least one slot");
+    if (core.window_size < core.issue_width) {
+        throw ConfigError("system.core.window_size",
+                          "the window must cover at least one issue group (" +
+                              std::to_string(core.window_size) + " < " +
+                              std::to_string(core.issue_width) + ")");
+    }
+    requireNonzero("system.core.mem_queue_size", core.mem_queue_size,
+                   "the memory queue needs at least one slot");
+    requireNonzero("system.core.write_buffer_size", core.write_buffer_size,
+                   "the write buffer needs at least one slot");
+    requireNonzero("system.core.max_spec_branches", core.max_spec_branches,
+                   "fetch stops forever at the first branch otherwise");
+    requirePow2("system.core.fetch_line_bytes", core.fetch_line_bytes);
+    if (core.fetch_line_bytes != node.l1i.line_bytes) {
+        DBSIM_WARN("core.fetch_line_bytes (", core.fetch_line_bytes,
+                   ") differs from the L1I line size (", node.l1i.line_bytes,
+                   "); fetch-block accounting will be inconsistent");
+    }
+
+    requirePow2("system.page_bins", page_bins);
+    requireNonzero("system.sched_quantum", sched_quantum,
+                   "a zero time slice would preempt every cycle");
+    requireNonzero("system.max_cycles", max_cycles,
+                   "the safety cap would fire before the first cycle");
+    if (!(fabric.migratory_read_factor > 0.0)) {
+        throw ConfigError("system.fabric.migratory_read_factor",
+                          "must be positive (1.0 = no scaling, 0.6 = the "
+                          "paper's flush upper bound)");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Validate before any member is built (used in the ctor init list). */
+const SystemParams &
+validated(const SystemParams &params)
+{
+    params.validate();
+    return params;
+}
+
+bool
+coherenceCheckRequested(const SystemParams &params)
+{
+    if (params.check_coherence)
+        return true;
+    const char *env = std::getenv("DBSIM_CHECK");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+} // namespace
+
 System::System(const SystemParams &params)
-    : params_(params),
+    : params_(validated(params)),
       page_map_(params.node.page_bytes, params.page_bins, params.num_nodes),
       fabric_(params.num_nodes, params.fabric, params.mesh),
       sched_(params.num_nodes)
@@ -24,9 +189,19 @@ System::System(const SystemParams &params)
         cpus_[i].node->attachCore(cpus_[i].core.get());
         fabric_.attachSite(i, cpus_[i].node.get());
     }
+    if (coherenceCheckRequested(params_)) {
+        checker_ = std::make_unique<coher::CoherenceChecker>();
+        fabric_.attachChecker(checker_.get());
+    }
+    // Any panic while this machine exists dumps its state first.
+    crash_dump_handle_ = registerCrashDump(
+        "machine state", [this] { return machineStateDump(*this); });
 }
 
-System::~System() = default;
+System::~System()
+{
+    unregisterCrashDump(crash_dump_handle_);
+}
 
 cpu::ProcessContext *
 System::addProcess(std::unique_ptr<trace::TraceSource> src, CpuId affinity)
@@ -141,6 +316,36 @@ System::handlePending(CpuState &cs)
 }
 
 // ---------------------------------------------------------------------
+// End-of-run quiescence audit
+// ---------------------------------------------------------------------
+
+void
+System::verifyQuiesced() const
+{
+    for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+        const Node &n = *cpus_[i].node;
+        if (n.l1dMshr().unboundedEntries() != 0 ||
+            n.l2Mshr().unboundedEntries() != 0) {
+            DBSIM_PANIC("quiescence check failed: cpu", i,
+                        " has MSHR entries with no fill time (l1d=",
+                        n.l1dMshr().unboundedEntries(),
+                        " l2=", n.l2Mshr().unboundedEntries(), ")");
+        }
+        if (n.streamBuffer().unboundedEntries() != 0) {
+            DBSIM_PANIC("quiescence check failed: cpu", i,
+                        " has stream-buffer prefetches that can never "
+                        "arrive (",
+                        n.streamBuffer().unboundedEntries(), " entries)");
+        }
+        if (!sched_.anyIncomplete() && cpus_[i].core->current() != nullptr) {
+            DBSIM_PANIC("quiescence check failed: every process finished "
+                        "but cpu",
+                        i, " still holds one");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Run loop
 // ---------------------------------------------------------------------
 
@@ -152,27 +357,41 @@ System::run(std::uint64_t max_instructions,
     window_start_ = now_;
     const Cycles deadline = now_ + params_.max_cycles;
 
-    // Optional progress debugging: DBSIM_DEBUG=<cycle interval>.
-    const char *dbg_env = std::getenv("DBSIM_DEBUG");
-    const Cycles dbg_every = dbg_env ? std::strtoull(dbg_env, nullptr, 10) : 0;
+    // Optional progress tracing: DBSIM_DEBUG=<cycle interval>.
+    const Cycles dbg_every = cyclesFromEnv("DBSIM_DEBUG");
     Cycles dbg_next = dbg_every;
 
+    // Forward-progress watchdog state.
+    std::uint64_t last_retired = totalRetired();
+    Cycles last_progress = now_;
+
     while (sched_.anyIncomplete() && totalRetired() < max_instructions) {
-        if (now_ >= deadline)
-            DBSIM_FATAL("simulation exceeded max_cycles safety cap");
+        if (now_ >= deadline) {
+            std::cerr << machineStateDump(*this);
+            DBSIM_FATAL("simulation exceeded the max_cycles safety cap (",
+                        params_.max_cycles,
+                        " cycles); machine state dumped to stderr");
+        }
+        if (params_.watchdog_cycles) {
+            const std::uint64_t retired = totalRetired();
+            if (retired != last_retired) {
+                last_retired = retired;
+                last_progress = now_;
+            } else if (now_ - last_progress >= params_.watchdog_cycles) {
+                // Livelock / deadlock: nothing retired anywhere for a
+                // whole window.  The machine-state dump (also attached
+                // by the panic path's crash-dump registry) names each
+                // CPU's run state, head stall, and wake horizon.
+                DBSIM_PANIC("forward-progress watchdog: no instruction "
+                            "retired in ",
+                            now_ - last_progress, " cycles (window=",
+                            params_.watchdog_cycles,
+                            "); machine is livelocked or deadlocked");
+            }
+        }
         if (dbg_every && now_ >= dbg_next) {
             dbg_next = now_ + dbg_every;
-            std::fprintf(stderr, "[dbsim] cyc=%llu retired=%llu",
-                         static_cast<unsigned long long>(now_),
-                         static_cast<unsigned long long>(totalRetired()));
-            for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
-                const auto *cur = cpus_[i].core->current();
-                std::fprintf(stderr, " cpu%u(%s,%s) %s", i,
-                             cur ? "run" : "idle",
-                             stallCatName(cpus_[i].core->headCat()),
-                             cpus_[i].core->debugString().c_str());
-            }
-            std::fprintf(stderr, "\n");
+            std::cerr << progressLine(*this) << "\n";
         }
 
         // Dispatch processes onto idle cores.
@@ -194,6 +413,11 @@ System::run(std::uint64_t max_instructions,
         // Scheduling actions requested during the tick.
         for (auto &cs : cpus_)
             handlePending(cs);
+
+        // Audit the blocks the fabric transacted on this cycle (the
+        // requesting nodes have installed their grants by now).
+        if (checker_)
+            checker_->auditPending(fabric_, now_);
 
         // Round-robin backstop: preempt over-quantum processes when
         // someone else is waiting.
@@ -239,6 +463,15 @@ System::run(std::uint64_t max_instructions,
             next = now_ + 1;
         }
         next = std::max(next, now_ + 1);
+        if (params_.watchdog_cycles) {
+            // Bound the skip at the watchdog horizon: a wake time far
+            // beyond the window must not leap over the no-progress
+            // check (the retire that precedes a long block would reset
+            // the baseline to the post-jump clock).
+            next = std::min(next,
+                            std::max(last_progress + params_.watchdog_cycles,
+                                     now_ + 1));
+        }
         if (next > now_ + 1) {
             for (auto &cs : cpus_)
                 cs.core->accountStall(now_ + 1, next);
@@ -248,6 +481,13 @@ System::run(std::uint64_t max_instructions,
 
     for (auto &cs : cpus_)
         cs.node->finalizeStats(now_);
+
+    // End-of-run integrity audit: settle any transactions recorded after
+    // the last in-loop audit, then verify the hierarchy can drain.
+    if (checker_) {
+        checker_->auditPending(fabric_, now_);
+        verifyQuiesced();
+    }
 
     RunResult r;
     r.cycles = now_ - window_start_;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "coherence/checker.hpp"
 #include "coherence/directory.hpp"
 #include "cpu/interfaces.hpp"
 #include "cpu/ooo_core.hpp"
@@ -37,6 +38,31 @@ struct SystemParams
     Cycles sched_quantum = 200000;  ///< round-robin backstop time slice
     std::uint32_t page_bins = 32;   ///< bin-hopping colors
     Cycles max_cycles = 4ull << 30; ///< hard safety cap
+
+    /**
+     * Forward-progress watchdog: if no instruction retires anywhere for
+     * this many simulated cycles, the run loop panics with a full
+     * machine-state dump instead of silently spinning to max_cycles.
+     * Must comfortably exceed the longest legitimate retire-free period
+     * (blocking-syscall latencies, scheduling quanta).  0 disables.
+     */
+    Cycles watchdog_cycles = 10'000'000;
+
+    /**
+     * Enable the coherence invariant checker (coherence/checker.hpp):
+     * SWMR / directory-vs-cache agreement audited after every directory
+     * transaction, plus an end-of-run quiescence check.  Also enabled
+     * by a nonzero DBSIM_CHECK environment variable (how the tier-1
+     * test suite turns it on everywhere).
+     */
+    bool check_coherence = false;
+
+    /**
+     * Structured validation; throws ConfigError (common/errors.hpp)
+     * naming the offending field if any parameter is out of bounds.
+     * Called by the System constructor before any state is built.
+     */
+    void validate() const;
 };
 
 /** Results of a run (post-warmup window). */
@@ -79,8 +105,14 @@ class System : public cpu::CoreEnvIf
     std::uint32_t numNodes() const { return params_.num_nodes; }
     Node &node(std::uint32_t i) { return *cpus_[i].node; }
     cpu::Core &core(std::uint32_t i) { return *cpus_[i].core; }
+    const Node &node(std::uint32_t i) const { return *cpus_[i].node; }
+    const cpu::Core &core(std::uint32_t i) const { return *cpus_[i].core; }
+    const Scheduler &scheduler() const { return sched_; }
     const coher::CoherenceFabric &fabric() const { return fabric_; }
     Cycles now() const { return now_; }
+
+    /** The coherence invariant checker, if enabled (else nullptr). */
+    const coher::CoherenceChecker *checker() const { return checker_.get(); }
 
     /** Total instructions retired since construction (incl. warmup). */
     std::uint64_t totalRetired() const;
@@ -110,10 +142,20 @@ class System : public cpu::CoreEnvIf
     void handlePending(CpuState &cs);
     CpuId cpuOf(ProcId proc) const { return proc_cpu_.at(proc); }
 
+    /**
+     * End-of-run quiescence audit (checker enabled only): no MSHR or
+     * stream-buffer entry may be unbounded, and once every process has
+     * finished, every core must have released its process with an empty
+     * window.  Panics with a machine-state dump otherwise.
+     */
+    void verifyQuiesced() const;
+
     SystemParams params_;
     mem::PageMap page_map_;
     coher::CoherenceFabric fabric_;
     Scheduler sched_;
+    std::unique_ptr<coher::CoherenceChecker> checker_;
+    int crash_dump_handle_ = 0;
     std::vector<CpuState> cpus_;
     std::vector<std::unique_ptr<cpu::ProcessContext>> procs_;
     std::vector<std::unique_ptr<trace::TraceSource>> sources_;
