@@ -4,7 +4,10 @@
  * keep a clean copy in the flushing cache.  The paper notes that an
  * invalidating flush neutralizes the gains because the flushing
  * processor's subsequent reads then miss.  This benchmark compares:
- * no hints, flush-keeping-clean-copy, and flush-invalidating.
+ * no hints, flush-keeping-clean-copy, and flush-invalidating, plus the
+ * adaptive migratory protocol (paper footnote 2) under RC and SC.
+ *
+ * Usage: ablation_migratory [--jobs N] [--json PATH]
  */
 
 #include <iostream>
@@ -14,52 +17,55 @@
 #include "core/cli_guard.hpp"
 
 static int
-run()
+run(const dbsim::bench::BenchOptions &opts)
 {
     using namespace dbsim;
-    std::vector<core::BreakdownRow> rows;
 
     core::SimConfig base = core::makeScaledConfig(core::WorkloadKind::Oltp);
     base.system.node.stream_buffer_entries = 4;
-    rows.push_back(bench::runConfig(base, "no hints").row);
 
     core::SimConfig keep = base;
     keep.hint_flush = true;
-    rows.push_back(
-        bench::runConfig(keep, "flush (keep clean copy)").row);
 
     core::SimConfig inval = base;
     inval.hint_flush = true;
     inval.system.fabric.flush_invalidates = true;
-    rows.push_back(
-        bench::runConfig(inval, "flush (invalidate copy)").row);
 
     // Adaptive migratory protocol (paper footnote 2): under the relaxed
     // base model the write latency is already hidden, so the handoff
-    // should gain little.
+    // should gain little.  Under SC the write latency is exposed and the
+    // handoff shows through.
     core::SimConfig adapt = base;
     adapt.system.fabric.adaptive_migratory = true;
-    rows.push_back(
-        bench::runConfig(adapt, "adaptive migratory (RC)").row);
 
-    core::SimConfig adapt_sc = base;
-    adapt_sc.system.core.model = cpu::ConsistencyModel::SC;
-    rows.push_back(bench::runConfig(adapt_sc, "SC plain").row);
-    adapt_sc.system.fabric.adaptive_migratory = true;
-    rows.push_back(
-        bench::runConfig(adapt_sc, "SC + adaptive migratory").row);
+    core::SimConfig sc_plain = base;
+    sc_plain.system.core.model = cpu::ConsistencyModel::SC;
 
+    core::SimConfig sc_adapt = sc_plain;
+    sc_adapt.system.fabric.adaptive_migratory = true;
+
+    bench::BenchContext ctx("ablation_migratory", opts);
+    const auto results = ctx.sweep(
+        "flush-semantics", {{"no hints", base},
+                            {"flush (keep clean copy)", keep},
+                            {"flush (invalidate copy)", inval},
+                            {"adaptive migratory (RC)", adapt},
+                            {"SC plain", sc_plain},
+                            {"SC + adaptive migratory", sc_adapt}});
+
+    const auto rows = bench::rowsOf(results);
     core::printHeader(std::cout,
                       "Ablation: flush keeping vs invalidating the copy "
                       "(OLTP, sbuf-4)");
     core::printExecutionBars(std::cout, rows);
     std::cout << "\nread-stall magnification:\n";
     core::printReadStallBars(std::cout, rows);
-    return 0;
+    return ctx.finish();
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([] { return run(); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

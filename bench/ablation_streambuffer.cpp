@@ -9,8 +9,11 @@
  * Our hierarchy shares one line size across levels, so the comparison
  * point is a whole-hierarchy 128-byte-line configuration (which also
  * doubles the coherence granularity -- noted in EXPERIMENTS.md).
+ *
+ * Usage: ablation_streambuffer [--jobs N] [--json PATH]
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -18,28 +21,14 @@
 #include "core/cli_guard.hpp"
 
 static int
-run()
+run(const dbsim::bench::BenchOptions &opts)
 {
     using namespace dbsim;
-    std::vector<core::BreakdownRow> rows;
-    std::vector<double> l1i_rates;
 
     core::SimConfig base = core::makeScaledConfig(core::WorkloadKind::Oltp);
-    {
-        const auto out = bench::runConfig(base, "base 64B lines");
-        rows.push_back(out.row);
-        l1i_rates.push_back(double(out.node0.l1i_misses) /
-                            double(out.node0.l1i_fetches));
-    }
 
     core::SimConfig sbuf = base;
     sbuf.system.node.stream_buffer_entries = 4;
-    {
-        const auto out = bench::runConfig(sbuf, "64B + sbuf-4");
-        rows.push_back(out.row);
-        l1i_rates.push_back(double(out.node0.l1i_misses) /
-                            double(out.node0.l1i_fetches));
-    }
 
     core::SimConfig wide = base;
     for (auto *lvl : {&wide.system.node.l1i, &wide.system.node.l1d,
@@ -47,26 +36,29 @@ run()
         lvl->line_bytes = 128;
     }
     wide.system.core.fetch_line_bytes = 128;
-    {
-        const auto out = bench::runConfig(wide, "128B lines (no sbuf)");
-        rows.push_back(out.row);
-        l1i_rates.push_back(double(out.node0.l1i_misses) /
-                            double(out.node0.l1i_fetches));
-    }
 
+    bench::BenchContext ctx("ablation_streambuffer", opts);
+    const auto results =
+        ctx.sweep("line-size", {{"base 64B lines", base},
+                                {"64B + sbuf-4", sbuf},
+                                {"128B lines (no sbuf)", wide}});
+
+    const auto rows = bench::rowsOf(results);
     core::printHeader(std::cout,
                       "Ablation: stream buffer vs 128-byte lines (OLTP)");
     core::printExecutionBars(std::cout, rows);
     std::cout << "\nL1I miss per fetch-line request:\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
         std::printf("  %-24s %.4f\n", rows[i].label.c_str(),
-                    l1i_rates[i]);
+                    double(results[i].node0.l1i_misses) /
+                        double(results[i].node0.l1i_fetches));
     }
-    return 0;
+    return ctx.finish();
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([] { return run(); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

@@ -1,64 +1,150 @@
 /**
  * @file
- * Shared helpers for the figure-reproduction benchmarks: run a
- * configuration, collect its breakdown row and characterization, and
- * snapshot MSHR occupancy distributions.
+ * Shared harness for the figure-reproduction benchmarks.
+ *
+ * Every bench builds declarative SweepItem lists (one per figure
+ * section), runs them through core::SweepRunner -- in parallel across
+ * host threads, deterministically -- and prints the same text reports
+ * as before from the returned results.  The harness also owns the two
+ * flags every bench shares:
+ *
+ *   --jobs N       bound the number of concurrent simulations
+ *                  (default: DBSIM_JOBS, then hardware concurrency)
+ *   --json PATH    write every section's results as machine-readable
+ *                  JSON (schema dbsim-bench-v1)
  */
 
 #ifndef DBSIM_BENCH_BENCH_UTIL_HPP
 #define DBSIM_BENCH_BENCH_UTIL_HPP
 
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "common/stats.hpp"
+#include "common/errors.hpp"
 #include "core/config.hpp"
 #include "core/report.hpp"
-#include "core/simulation.hpp"
+#include "core/sweep.hpp"
 
 namespace dbsim::bench {
 
-/** Everything a figure needs from one configuration run. */
-struct RunOut
+/** Harness flags plus whatever bench-specific flags remain. */
+struct BenchOptions
 {
-    core::BreakdownRow row;
-    sim::RunResult result;
-    core::Characterization ch;
-    stats::OccupancyTracker l1d_occ{64};
-    stats::OccupancyTracker l1d_read_occ{64};
-    stats::OccupancyTracker l2_occ{64};
-    stats::OccupancyTracker l2_read_occ{64};
-    sim::NodeStats node0;
-    coher::FabricStats fabric;
+    unsigned jobs = 0;       ///< 0 = resolve via DBSIM_JOBS / hardware
+    std::string json_path;   ///< empty = no JSON report
+    std::vector<std::string> rest; ///< unconsumed (bench-specific) args
+
+    bool
+    has(const char *flag) const
+    {
+        for (const auto &a : rest)
+            if (a == flag)
+                return true;
+        return false;
+    }
 };
 
-/** Run @p cfg and collect results (label defaults to describe(cfg)). */
-inline RunOut
-runConfig(const core::SimConfig &cfg, std::string label = {})
+/**
+ * Parse `--jobs N` / `--jobs=N` and `--json PATH` / `--json=PATH`;
+ * everything else is passed through in `rest`.  Bad values throw
+ * ConfigError (guardedMain turns that into exit code 2).
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
 {
-    core::Simulation simulation(cfg);
-    RunOut out;
-    out.result = simulation.run();
-    out.ch = simulation.characterize();
-    out.row = core::BreakdownRow{
-        label.empty() ? core::describe(cfg) : std::move(label),
-        out.result.breakdown, out.result.instructions};
-    auto &n0 = simulation.system().node(0);
-    out.l1d_occ = n0.l1dMshrStats().occupancy;
-    out.l1d_read_occ = n0.l1dMshrStats().read_occupancy;
-    out.l2_occ = n0.l2MshrStats().occupancy;
-    out.l2_read_occ = n0.l2MshrStats().read_occupancy;
-    out.node0 = n0.stats();
-    out.fabric = simulation.system().fabric().stats();
-    return out;
+    BenchOptions opts;
+    auto parseJobs = [&opts](const std::string &v) {
+        std::size_t pos = 0;
+        unsigned long n = 0;
+        try {
+            n = std::stoul(v, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos != v.size() || n == 0) {
+            throw ConfigError("cli.jobs",
+                              "--jobs wants a positive integer, got \"" +
+                                  v + "\"");
+        }
+        opts.jobs = static_cast<unsigned>(n);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--jobs" || a == "--json") {
+            if (i + 1 >= argc) {
+                throw ConfigError("cli" + a.substr(1),
+                                  a + " needs a value");
+            }
+            const std::string v = argv[++i];
+            if (a == "--jobs")
+                parseJobs(v);
+            else
+                opts.json_path = v;
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            parseJobs(a.substr(7));
+        } else if (a.rfind("--json=", 0) == 0) {
+            opts.json_path = a.substr(7);
+        } else {
+            opts.rest.push_back(a);
+        }
+    }
+    return opts;
 }
 
-/** Short bar label helper. */
-inline std::string
-barLabel(const std::string &s)
+/**
+ * One bench run: a SweepRunner plus the accumulated JSON report.
+ * Sections call sweep(); main ends with `return ctx.finish();`.
+ */
+class BenchContext
 {
-    return s;
+  public:
+    BenchContext(std::string bench_name, const BenchOptions &opts)
+        : opts_(opts), runner_(opts.jobs)
+    {
+        report_.bench = std::move(bench_name);
+        report_.jobs = runner_.jobs();
+    }
+
+    const BenchOptions &opts() const { return opts_; }
+    const core::SweepRunner &runner() const { return runner_; }
+
+    /** Run @p items (in parallel) and log them under @p section. */
+    std::vector<core::SweepResult>
+    sweep(const std::string &section,
+          const std::vector<core::SweepItem> &items)
+    {
+        auto results = runner_.run(items);
+        report_.add(section, results);
+        return results;
+    }
+
+    /** Write the JSON report if requested.  Returns the exit code. */
+    int
+    finish()
+    {
+        if (opts_.json_path.empty())
+            return 0;
+        return core::writeSweepJsonFile(opts_.json_path, report_) ? 0 : 1;
+    }
+
+  private:
+    BenchOptions opts_;
+    core::SweepRunner runner_;
+    core::SweepReport report_;
+};
+
+/** The figure rows of a result list, in sweep order. */
+inline std::vector<core::BreakdownRow>
+rowsOf(const std::vector<core::SweepResult> &results)
+{
+    std::vector<core::BreakdownRow> rows;
+    rows.reserve(results.size());
+    for (const auto &r : results)
+        rows.push_back(r.row());
+    return rows;
 }
 
 } // namespace dbsim::bench

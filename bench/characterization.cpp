@@ -11,14 +11,14 @@
  *         cumulative branch misprediction ~11%, dirty misses ~50% of L2
  *         misses; 88% of shared writes and 79% of dirty reads migratory.
  *   DSS : L1I ~0% / L1D 0.9% / L2 23.1%, IPC ~2.2.
+ *
+ * Usage: characterization [--sharing] [--oltp] [--dss]
+ *                         [--jobs N] [--json PATH]
  */
 
-#include <cstring>
 #include <iostream>
 
-#include "core/config.hpp"
-#include "core/report.hpp"
-#include "core/simulation.hpp"
+#include "bench_util.hpp"
 
 #include "core/cli_guard.hpp"
 
@@ -27,16 +27,19 @@ using namespace dbsim;
 namespace {
 
 void
-characterizeOne(core::WorkloadKind kind, bool sharing)
+characterizeOne(bench::BenchContext &ctx, core::WorkloadKind kind,
+                bool sharing)
 {
-    core::SimConfig cfg = core::makeScaledConfig(kind);
-    core::printHeader(std::cout, std::string("Characterization: ") +
-                                     core::workloadName(kind));
-    std::cout << core::describe(cfg) << "\n\n";
+    const char *wname = core::workloadName(kind);
+    const auto results =
+        ctx.sweep(wname, {{wname, core::makeScaledConfig(kind)}});
+    const core::SweepResult &res = results.front();
+    const sim::RunResult &r = res.run;
+    const core::Characterization &c = res.ch;
 
-    core::Simulation simulation(cfg);
-    const sim::RunResult r = simulation.run();
-    const core::Characterization c = simulation.characterize();
+    core::printHeader(std::cout,
+                      std::string("Characterization: ") + wname);
+    std::cout << res.config << "\n\n";
 
     std::cout << "instructions          " << r.instructions << "\n"
               << "cycles                " << r.cycles << "\n"
@@ -53,36 +56,35 @@ characterizeOne(core::WorkloadKind kind, bool sharing)
               << (c.total_l2_misses ? double(c.dirty_misses) /
                                           double(c.total_l2_misses)
                                     : 0.0)
-              << "\n";
+              << "\n"
+              << "sim Minstr / host-sec " << res.sim_ips / 1e6 << "\n";
 
-    std::vector<core::BreakdownRow> rows;
-    rows.push_back({core::describe(cfg), r.breakdown, r.instructions});
+    const auto rows = bench::rowsOf(results);
     std::cout << "\n";
     core::printExecutionBars(std::cout, rows);
     std::cout << "\n";
     core::printReadStallBars(std::cout, rows);
 
     if (sharing && kind == core::WorkloadKind::Oltp) {
-        const auto &mig = simulation.system().fabric().migratory();
-        const auto &ms = mig.stats();
+        const core::MigratorySummary &ms = res.migratory;
         core::printHeader(std::cout, "Migratory sharing (section 4.2)");
         std::cout << "shared writes               " << ms.shared_writes
                   << "\n"
-                  << "  migratory fraction        " << ms.writeFraction()
+                  << "  migratory fraction        " << ms.write_fraction
                   << "  (paper: 0.88)\n"
                   << "dirty reads                 " << ms.dirty_reads
                   << "\n"
                   << "  migratory fraction        "
-                  << ms.dirtyReadFraction() << "  (paper: 0.79)\n"
-                  << "migratory lines             " << mig.migratoryLines()
+                  << ms.dirty_read_fraction << "  (paper: 0.79)\n"
+                  << "migratory lines             " << ms.migratory_lines
                   << "\n"
                   << "line concentration (70%)    "
-                  << mig.lineConcentration(0.70)
+                  << ms.line_concentration_70
                   << "  (paper: 0.03 of lines cover 70% of write misses)\n"
-                  << "PCs generating migratory    " << mig.migratoryPcs()
+                  << "PCs generating migratory    " << ms.migratory_pcs
                   << "\n"
                   << "PC concentration (75%)      "
-                  << mig.pcConcentration(0.75)
+                  << ms.pc_concentration_75
                   << "  (paper: <0.10 of instructions cover 75%)\n";
     }
 }
@@ -90,28 +92,24 @@ characterizeOne(core::WorkloadKind kind, bool sharing)
 } // namespace
 
 static int
-run(int argc, char **argv)
+run(const bench::BenchOptions &opts)
 {
-    bool sharing = false;
-    bool oltp_only = false, dss_only = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--sharing"))
-            sharing = true;
-        else if (!std::strcmp(argv[i], "--oltp"))
-            oltp_only = true;
-        else if (!std::strcmp(argv[i], "--dss"))
-            dss_only = true;
-    }
+    const bool sharing = opts.has("--sharing");
+    const bool oltp_only = opts.has("--oltp");
+    const bool dss_only = opts.has("--dss");
 
+    bench::BenchContext ctx("characterization", opts);
     if (!dss_only)
-        characterizeOne(core::WorkloadKind::Oltp, sharing || !oltp_only);
+        characterizeOne(ctx, core::WorkloadKind::Oltp,
+                        sharing || !oltp_only);
     if (!oltp_only)
-        characterizeOne(core::WorkloadKind::Dss, false);
-    return 0;
+        characterizeOne(ctx, core::WorkloadKind::Dss, false);
+    return ctx.finish();
 }
 
 int
 main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([&] { return run(argc, argv); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

@@ -11,25 +11,25 @@
  *      load-to-load dependences);
  *  (d)-(g) little read-miss overlap; occupancy driven by writes.
  *
- * Usage: fig2_oltp_ilp [--occupancy]
+ * Usage: fig2_oltp_ilp [--occupancy] [--jobs N] [--json PATH]
  */
-
-#include <cstring>
 
 #include "ilp_figure.hpp"
 
 #include "core/cli_guard.hpp"
 
 static int
-run(int argc, char **argv)
+run(const dbsim::bench::BenchOptions &opts)
 {
-    const bool occ = argc > 1 && !std::strcmp(argv[1], "--occupancy");
-    dbsim::bench::runIlpFigure(dbsim::core::WorkloadKind::Oltp, occ);
-    return 0;
+    dbsim::bench::BenchContext ctx("fig2_oltp_ilp", opts);
+    dbsim::bench::runIlpFigure(ctx, dbsim::core::WorkloadKind::Oltp,
+                               opts.has("--occupancy"));
+    return ctx.finish();
 }
 
 int
 main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([&] { return run(argc, argv); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

@@ -10,10 +10,9 @@
  *  (c) benefits up to 4 outstanding misses, driven by write overlap;
  *  (--funits) 16 ALUs + 16 AGUs give ~12% further improvement.
  *
- * Usage: fig3_dss_ilp [--occupancy] [--funits]
+ * Usage: fig3_dss_ilp [--occupancy] [--funits] [--jobs N] [--json PATH]
  */
 
-#include <cstring>
 #include <iostream>
 
 #include "ilp_figure.hpp"
@@ -21,37 +20,34 @@
 #include "core/cli_guard.hpp"
 
 static int
-run(int argc, char **argv)
+run(const dbsim::bench::BenchOptions &opts)
 {
-    bool occ = false, funits = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--occupancy"))
-            occ = true;
-        if (!std::strcmp(argv[i], "--funits"))
-            funits = true;
-    }
-
     using namespace dbsim;
-    if (funits) {
-        std::vector<core::BreakdownRow> rows;
-        core::SimConfig base = core::makeScaledConfig(core::WorkloadKind::Dss);
-        rows.push_back(bench::runConfig(base, "base (2 ALU/2 AGU)").row);
+    bench::BenchContext ctx("fig3_dss_ilp", opts);
+
+    if (opts.has("--funits")) {
+        core::SimConfig base =
+            core::makeScaledConfig(core::WorkloadKind::Dss);
         core::SimConfig wide = base;
         wide.system.core.fu.int_alus = 16;
         wide.system.core.fu.addr_units = 16;
-        rows.push_back(bench::runConfig(wide, "16 ALU / 16 AGU").row);
+        const auto results = ctx.sweep(
+            "funits", {{"base (2 ALU/2 AGU)", base},
+                       {"16 ALU / 16 AGU", wide}});
         core::printHeader(std::cout,
                           "section 3.2.2: DSS functional-unit scaling");
-        core::printExecutionBars(std::cout, rows);
-        return 0;
+        core::printExecutionBars(std::cout, bench::rowsOf(results));
+        return ctx.finish();
     }
 
-    bench::runIlpFigure(core::WorkloadKind::Dss, occ);
-    return 0;
+    bench::runIlpFigure(ctx, core::WorkloadKind::Dss,
+                        opts.has("--occupancy"));
+    return ctx.finish();
 }
 
 int
 main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([&] { return run(argc, argv); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

@@ -7,6 +7,8 @@
  * branch prediction ~6%; a perfect instruction cache gives the largest
  * single gain; combining all idealizations with a doubled (128-entry)
  * window leaves dirty-miss latency as the dominant component.
+ *
+ * Usage: fig4_oltp_limits [--jobs N] [--json PATH]
  */
 
 #include <iostream>
@@ -16,27 +18,21 @@
 #include "core/cli_guard.hpp"
 
 static int
-run()
+run(const dbsim::bench::BenchOptions &opts)
 {
     using namespace dbsim;
     using core::SimConfig;
 
-    std::vector<core::BreakdownRow> rows;
-
     SimConfig base = core::makeScaledConfig(core::WorkloadKind::Oltp);
-    rows.push_back(bench::runConfig(base, "base ooo").row);
 
     SimConfig fu = base;
     fu.system.core.fu.infinite = true;
-    rows.push_back(bench::runConfig(fu, "infinite FUs").row);
 
     SimConfig bp = base;
     bp.system.core.bp.perfect = true;
-    rows.push_back(bench::runConfig(bp, "perfect bpred").row);
 
     SimConfig ic = base;
     ic.system.node.perfect_icache = true;
-    rows.push_back(bench::runConfig(ic, "perfect icache").row);
 
     SimConfig all = base;
     all.system.core.fu.infinite = true;
@@ -45,18 +41,26 @@ run()
     all.system.node.perfect_itlb = true;
     all.system.node.perfect_dtlb = true;
     all.system.core.window_size = 128;
-    rows.push_back(
-        bench::runConfig(all, "all perfect + 128-window").row);
 
+    bench::BenchContext ctx("fig4_oltp_limits", opts);
+    const auto results = ctx.sweep(
+        "limits", {{"base ooo", base},
+                   {"infinite FUs", fu},
+                   {"perfect bpred", bp},
+                   {"perfect icache", ic},
+                   {"all perfect + 128-window", all}});
+
+    const auto rows = bench::rowsOf(results);
     core::printHeader(std::cout, "Figure 4: OLTP limit study");
     core::printExecutionBars(std::cout, rows);
     std::cout << "\nread-stall magnification:\n";
     core::printReadStallBars(std::cout, rows);
-    return 0;
+    return ctx.finish();
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([] { return run(); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

@@ -7,6 +7,8 @@
  * a larger share (no communication misses); the multiprocessor adds a
  * larger read component for both workloads (dirty misses for OLTP).
  * Bars are composition (percent of each system's own execution time).
+ *
+ * Usage: fig5_uni_vs_mp [--jobs N] [--json PATH]
  */
 
 #include <iostream>
@@ -16,34 +18,34 @@
 #include "core/cli_guard.hpp"
 
 static int
-run()
+run(const dbsim::bench::BenchOptions &opts)
 {
     using namespace dbsim;
 
+    bench::BenchContext ctx("fig5_uni_vs_mp", opts);
     for (const auto kind :
          {core::WorkloadKind::Oltp, core::WorkloadKind::Dss}) {
-        std::vector<core::BreakdownRow> rows;
+        const char *wname = core::workloadName(kind);
+        const auto results = ctx.sweep(
+            wname,
+            {{"uniprocessor", core::makeScaledConfig(kind, 1)},
+             {"multiprocessor(4)", core::makeScaledConfig(kind, 4)}});
 
-        core::SimConfig uni = core::makeScaledConfig(kind, 1);
-        rows.push_back(bench::runConfig(uni, "uniprocessor").row);
-
-        core::SimConfig mp = core::makeScaledConfig(kind, 4);
-        rows.push_back(bench::runConfig(mp, "multiprocessor(4)").row);
-
+        const auto rows = bench::rowsOf(results);
         core::printHeader(std::cout,
-                          std::string("Figure 5: ") +
-                              core::workloadName(kind) +
+                          std::string("Figure 5: ") + wname +
                               " composition (percent of own total)");
         core::printCompositionBars(std::cout, rows);
         std::cout << "\nread-stall magnification "
                      "(normalized to uniprocessor total):\n";
         core::printReadStallBars(std::cout, rows);
     }
-    return 0;
+    return ctx.finish();
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([] { return run(); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

@@ -10,6 +10,8 @@
  * ~26% (OLTP) / ~37% (DSS) faster than plain SC and within 10-15% of
  * RC.  Bars normalized to the straightforward SC implementation; data
  * stall split into read and write components.
+ *
+ * Usage: fig6_consistency [--jobs N] [--json PATH]
  */
 
 #include <cstdio>
@@ -20,14 +22,15 @@
 #include "core/cli_guard.hpp"
 
 static int
-run()
+run(const dbsim::bench::BenchOptions &opts)
 {
     using namespace dbsim;
     using cpu::ConsistencyModel;
 
+    bench::BenchContext ctx("fig6_consistency", opts);
     for (const auto kind :
          {core::WorkloadKind::Oltp, core::WorkloadKind::Dss}) {
-        std::vector<core::BreakdownRow> rows;
+        std::vector<core::SweepItem> items;
         for (const auto model : {ConsistencyModel::SC,
                                  ConsistencyModel::PC,
                                  ConsistencyModel::RC}) {
@@ -42,20 +45,22 @@ run()
                               impl == 0 ? " plain"
                               : impl == 1 ? " +prefetch"
                                           : " +prefetch+spec");
-                rows.push_back(bench::runConfig(cfg, label).row);
+                items.push_back({label, cfg});
             }
         }
+        const auto results = ctx.sweep(core::workloadName(kind), items);
         core::printHeader(std::cout,
                           std::string("Figure 6: consistency models, ") +
                               core::workloadName(kind) +
                               " (normalized to plain SC)");
-        core::printExecutionBars(std::cout, rows);
+        core::printExecutionBars(std::cout, bench::rowsOf(results));
     }
-    return 0;
+    return ctx.finish();
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([] { return run(); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

@@ -15,9 +15,11 @@
  *     data, on top of a 4-entry stream buffer.  Paper shape targets:
  *     flush hints ~7.5% (bound ~9%, approximated by discounting
  *     migratory read latency 40%); flush+prefetch ~12% cumulative.
+ *
+ * Usage: fig7_oltp_bottlenecks [--uni] [--jobs N] [--json PATH]
  */
 
-#include <cstring>
+#include <cstdio>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -29,47 +31,44 @@ using namespace dbsim;
 namespace {
 
 void
-partA(std::uint32_t nodes)
+partA(bench::BenchContext &ctx, std::uint32_t nodes)
 {
-    std::vector<core::BreakdownRow> rows;
-    std::vector<double> miss_rates;
+    std::vector<core::SweepItem> items;
 
     core::SimConfig base =
         core::makeScaledConfig(core::WorkloadKind::Oltp, nodes);
-    // "Effective" L1I miss rate: tag misses the stream buffer did NOT
-    // cover (the paper's miss-rate-reduction metric counts buffer hits
-    // as removed misses).
-    auto effective_rate = [](const bench::RunOut &out) {
-        return double(out.node0.l1i_misses - out.node0.l1i_sbuf_hits) /
-               double(out.node0.l1i_fetches);
-    };
-    {
-        const auto out = bench::runConfig(base, "base (no sbuf)");
-        rows.push_back(out.row);
-        miss_rates.push_back(effective_rate(out));
-    }
+    items.push_back({"base (no sbuf)", base});
     for (const std::uint32_t entries : {2u, 4u, 8u}) {
         core::SimConfig cfg = base;
         cfg.system.node.stream_buffer_entries = entries;
         char label[32];
         std::snprintf(label, sizeof(label), "sbuf-%u", entries);
-        const auto out = bench::runConfig(cfg, label);
-        rows.push_back(out.row);
-        miss_rates.push_back(effective_rate(out));
+        items.push_back({label, cfg});
     }
     {
         core::SimConfig cfg = base;
         cfg.system.node.perfect_icache = true;
-        rows.push_back(bench::runConfig(cfg, "perfect icache").row);
-        miss_rates.push_back(0.0);
+        items.push_back({"perfect icache", cfg});
     }
     {
         core::SimConfig cfg = base;
         cfg.system.node.perfect_icache = true;
         cfg.system.node.perfect_itlb = true;
-        rows.push_back(
-            bench::runConfig(cfg, "perfect icache+iTLB").row);
-        miss_rates.push_back(0.0);
+        items.push_back({"perfect icache+iTLB", cfg});
+    }
+
+    const auto results = ctx.sweep("a-stream-buffer", items);
+
+    // "Effective" L1I miss rate: tag misses the stream buffer did NOT
+    // cover (the paper's miss-rate-reduction metric counts buffer hits
+    // as removed misses).  The perfect-icache rows have none.
+    std::vector<double> miss_rates;
+    for (const auto &r : results) {
+        miss_rates.push_back(
+            r.cfg.system.node.perfect_icache
+                ? 0.0
+                : double(r.node0.l1i_misses - r.node0.l1i_sbuf_hits) /
+                      double(r.node0.l1i_fetches));
     }
 
     char title[96];
@@ -77,6 +76,7 @@ partA(std::uint32_t nodes)
                   "Figure 7(a): instruction stream buffer, %u node%s",
                   nodes, nodes == 1 ? "" : "s");
     core::printHeader(std::cout, title);
+    const auto rows = bench::rowsOf(results);
     core::printExecutionBars(std::cout, rows);
     std::cout << "\nL1I effective miss rate per fetch-line request\n"
                  "(misses not covered by the stream buffer):\n";
@@ -91,32 +91,33 @@ partA(std::uint32_t nodes)
 }
 
 void
-partB()
+partB(bench::BenchContext &ctx)
 {
-    std::vector<core::BreakdownRow> rows;
-
     core::SimConfig base = core::makeScaledConfig(core::WorkloadKind::Oltp);
     base.system.node.stream_buffer_entries = 4;
-    rows.push_back(bench::runConfig(base, "base + sbuf-4").row);
 
     core::SimConfig flush = base;
     flush.hint_flush = true;
-    rows.push_back(bench::runConfig(flush, "+ flush hints").row);
 
     core::SimConfig bound = base;
     bound.system.fabric.migratory_read_factor = 0.6;
-    rows.push_back(
-        bench::runConfig(bound, "bound: migratory reads -40%").row);
 
     core::SimConfig pf_only = base;
     pf_only.hint_prefetch = true;
-    rows.push_back(bench::runConfig(pf_only, "+ prefetch only").row);
 
     core::SimConfig both = base;
     both.hint_flush = true;
     both.hint_prefetch = true;
-    rows.push_back(bench::runConfig(both, "+ flush + prefetch").row);
 
+    const auto results = ctx.sweep(
+        "b-migratory-hints",
+        {{"base + sbuf-4", base},
+         {"+ flush hints", flush},
+         {"bound: migratory reads -40%", bound},
+         {"+ prefetch only", pf_only},
+         {"+ flush + prefetch", both}});
+
+    const auto rows = bench::rowsOf(results);
     core::printHeader(std::cout,
                       "Figure 7(b): migratory data hints "
                       "(base assumes 4-entry stream buffer)");
@@ -128,21 +129,19 @@ partB()
 } // namespace
 
 static int
-run(int argc, char **argv)
+run(const bench::BenchOptions &opts)
 {
-    bool uni = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--uni"))
-            uni = true;
-    }
-    partA(uni ? 1 : 4);
+    const bool uni = opts.has("--uni");
+    bench::BenchContext ctx("fig7_oltp_bottlenecks", opts);
+    partA(ctx, uni ? 1 : 4);
     if (!uni)
-        partB();
-    return 0;
+        partB(ctx);
+    return ctx.finish();
 }
 
 int
 main(int argc, char **argv)
 {
-    return dbsim::core::guardedMain([&] { return run(argc, argv); });
+    return dbsim::core::guardedMain(
+        [&] { return run(dbsim::bench::parseBenchArgs(argc, argv)); });
 }

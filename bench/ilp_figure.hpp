@@ -4,6 +4,9 @@
  * (multiple issue, out-of-order execution, instruction window size,
  * multiple outstanding misses) on OLTP / DSS performance, plus the MSHR
  * occupancy distributions of parts (d)-(g).
+ *
+ * Each part is a declarative configuration list handed to the parallel
+ * sweep runner; the text output is identical to the old serial loops.
  */
 
 #ifndef DBSIM_BENCH_ILP_FIGURE_HPP
@@ -17,14 +20,16 @@
 namespace dbsim::bench {
 
 inline void
-runIlpFigure(core::WorkloadKind kind, bool occupancy_only)
+runIlpFigure(BenchContext &ctx, core::WorkloadKind kind,
+             bool occupancy_only)
 {
     using core::SimConfig;
+    using core::SweepItem;
     const char *wname = core::workloadName(kind);
 
     // --- Part (a): in-order vs out-of-order across issue widths.
     if (!occupancy_only) {
-        std::vector<core::BreakdownRow> rows;
+        std::vector<SweepItem> items;
         for (const bool ooo : {false, true}) {
             for (const std::uint32_t width : {1u, 2u, 4u, 8u}) {
                 SimConfig cfg = core::makeScaledConfig(kind);
@@ -36,25 +41,28 @@ runIlpFigure(core::WorkloadKind kind, bool occupancy_only)
                 char label[64];
                 std::snprintf(label, sizeof(label), "%s-%u-way",
                               ooo ? "ooo" : "inorder", width);
-                rows.push_back(runConfig(cfg, label).row);
+                items.push_back({label, cfg});
             }
         }
+        const auto results = ctx.sweep("a-issue-width", items);
         core::printHeader(std::cout,
                           std::string("(a) issue width / ooo, ") + wname +
                               " (normalized to in-order 1-way)");
-        core::printExecutionBars(std::cout, rows);
+        core::printExecutionBars(std::cout, rowsOf(results));
     }
 
     // --- Part (b): instruction window size (out-of-order).
     if (!occupancy_only) {
-        std::vector<core::BreakdownRow> rows;
+        std::vector<SweepItem> items;
         for (const std::uint32_t win : {16u, 32u, 64u, 128u}) {
             SimConfig cfg = core::makeScaledConfig(kind);
             cfg.system.core.window_size = win;
             char label[64];
             std::snprintf(label, sizeof(label), "window-%u", win);
-            rows.push_back(runConfig(cfg, label).row);
+            items.push_back({label, cfg});
         }
+        const auto results = ctx.sweep("b-window", items);
+        const auto rows = rowsOf(results);
         core::printHeader(std::cout,
                           std::string("(b) instruction window, ") + wname);
         core::printExecutionBars(std::cout, rows);
@@ -64,15 +72,17 @@ runIlpFigure(core::WorkloadKind kind, bool occupancy_only)
 
     // --- Part (c): number of MSHRs (outstanding misses).
     if (!occupancy_only) {
-        std::vector<core::BreakdownRow> rows;
+        std::vector<SweepItem> items;
         for (const std::uint32_t mshrs : {1u, 2u, 4u, 8u}) {
             SimConfig cfg = core::makeScaledConfig(kind);
             cfg.system.node.l1d.mshrs = mshrs;
             cfg.system.node.l2.mshrs = mshrs;
             char label[64];
             std::snprintf(label, sizeof(label), "mshr-%u", mshrs);
-            rows.push_back(runConfig(cfg, label).row);
+            items.push_back({label, cfg});
         }
+        const auto results = ctx.sweep("c-mshrs", items);
+        const auto rows = rowsOf(results);
         core::printHeader(std::cout,
                           std::string("(c) outstanding misses, ") + wname);
         core::printExecutionBars(std::cout, rows);
@@ -83,8 +93,9 @@ runIlpFigure(core::WorkloadKind kind, bool occupancy_only)
     // --- Parts (d)-(g): MSHR occupancy distributions on the base
     // system (fraction of non-idle time with >= n MSHRs in use).
     {
-        SimConfig cfg = core::makeScaledConfig(kind);
-        const RunOut out = runConfig(cfg, "base");
+        const auto results = ctx.sweep(
+            "occupancy", {{"base", core::makeScaledConfig(kind)}});
+        const core::SweepResult &out = results.front();
         core::printHeader(std::cout,
                           std::string("(d)-(g) MSHR occupancy, ") + wname);
         core::printOccupancy(std::cout, "(d) L1D all misses ",

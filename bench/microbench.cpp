@@ -8,10 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "cpu/branch_predictor.hpp"
 #include "memory/cache.hpp"
 #include "memory/mshr.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/system.hpp"
 #include "workload/oltp_engine.hpp"
 
@@ -61,6 +65,56 @@ BM_BranchPredict(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BranchPredict);
+
+/**
+ * The run loop's per-iteration event-skip query with N blocked
+ * processes.  Was a linear scan of the blocked list; now the heap root.
+ */
+void
+BM_SchedulerNextWake(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::Scheduler sched(1);
+    std::vector<std::unique_ptr<cpu::ProcessContext>> procs;
+    for (std::size_t i = 0; i < n; ++i) {
+        procs.push_back(std::make_unique<cpu::ProcessContext>(
+            static_cast<ProcId>(i), nullptr));
+        sched.addProcess(procs.back().get(), 0);
+        (void)sched.pickNext(0, 0);
+        sched.block(procs.back().get(), 1'000'000 + i);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched.nextWake(0));
+}
+BENCHMARK(BM_SchedulerNextWake)->Arg(8)->Arg(64)->Arg(512);
+
+/**
+ * Steady-state block/wake churn with N resident blocked processes:
+ * every iteration wakes the earliest process and re-blocks it at the
+ * back of the time window.
+ */
+void
+BM_SchedulerBlockWake(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::Scheduler sched(1);
+    std::vector<std::unique_ptr<cpu::ProcessContext>> procs;
+    for (std::size_t i = 0; i < n; ++i) {
+        procs.push_back(std::make_unique<cpu::ProcessContext>(
+            static_cast<ProcId>(i), nullptr));
+        sched.addProcess(procs.back().get(), 0);
+        (void)sched.pickNext(0, 0);
+        sched.block(procs.back().get(), static_cast<Cycles>(i) + 1);
+    }
+    Cycles now = 0;
+    for (auto _ : state) {
+        ++now;
+        cpu::ProcessContext *p = sched.pickNext(0, now);
+        if (p)
+            sched.block(p, now + static_cast<Cycles>(n));
+    }
+}
+BENCHMARK(BM_SchedulerBlockWake)->Arg(8)->Arg(64)->Arg(512);
 
 void
 BM_OltpTraceGen(benchmark::State &state)

@@ -1,7 +1,9 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -18,9 +20,19 @@ struct DumpEntry
     std::function<std::string()> fn;
 };
 
-// The registry is deliberately simple (no locking): the simulator is
-// single-threaded and dumps are registered by long-lived objects
-// (System) around their lifetime.
+// The sweep runner constructs and destroys Systems from worker threads,
+// and each System registers a crash dump around its lifetime, so the
+// registry is guarded by a mutex.  Dump callbacks themselves are invoked
+// under the lock: they only run on the (rare) panic path, and holding
+// the lock keeps a concurrently destructing System from invalidating the
+// entry being executed.
+std::mutex &
+dumpMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 std::vector<DumpEntry> &
 dumpRegistry()
 {
@@ -28,30 +40,35 @@ dumpRegistry()
     return reg;
 }
 
-PanicBehavior g_panic_behavior = PanicBehavior::Abort;
+std::atomic<PanicBehavior> g_panic_behavior{PanicBehavior::Abort};
 
 /** Run every registered crash dump; returns the concatenated text. */
 std::string
 runCrashDumps()
 {
-    // Re-entrancy guard: a dump callback that itself panics must not
-    // recurse into the dump machinery.
-    static bool in_panic = false;
+    // Re-entrancy guard (per thread): a dump callback that itself panics
+    // must not recurse into the dump machinery, and must not deadlock on
+    // the registry mutex it already holds.
+    thread_local bool in_panic = false;
     if (in_panic)
         return {};
     in_panic = true;
     std::string all;
-    for (const auto &d : dumpRegistry()) {
-        all += "=== crash dump: " + d.name + " ===\n";
-        try {
-            all += d.fn();
-        } catch (const std::exception &e) {
-            all += std::string("(dump callback failed: ") + e.what() + ")";
-        } catch (...) {
-            all += "(dump callback failed)";
+    {
+        std::lock_guard<std::mutex> lock(dumpMutex());
+        for (const auto &d : dumpRegistry()) {
+            all += "=== crash dump: " + d.name + " ===\n";
+            try {
+                all += d.fn();
+            } catch (const std::exception &e) {
+                all += std::string("(dump callback failed: ") + e.what() +
+                       ")";
+            } catch (...) {
+                all += "(dump callback failed)";
+            }
+            if (!all.empty() && all.back() != '\n')
+                all += '\n';
         }
-        if (!all.empty() && all.back() != '\n')
-            all += '\n';
     }
     in_panic = false;
     return all;
@@ -62,18 +79,19 @@ runCrashDumps()
 void
 setPanicBehavior(PanicBehavior b)
 {
-    g_panic_behavior = b;
+    g_panic_behavior.store(b, std::memory_order_relaxed);
 }
 
 PanicBehavior
 panicBehavior()
 {
-    return g_panic_behavior;
+    return g_panic_behavior.load(std::memory_order_relaxed);
 }
 
 int
 registerCrashDump(std::string name, std::function<std::string()> fn)
 {
+    std::lock_guard<std::mutex> lock(dumpMutex());
     static int next_handle = 1;
     const int h = next_handle++;
     dumpRegistry().push_back({h, std::move(name), std::move(fn)});
@@ -83,6 +101,7 @@ registerCrashDump(std::string name, std::function<std::string()> fn)
 void
 unregisterCrashDump(int handle)
 {
+    std::lock_guard<std::mutex> lock(dumpMutex());
     auto &reg = dumpRegistry();
     for (auto it = reg.begin(); it != reg.end(); ++it) {
         if (it->handle == handle) {
@@ -98,7 +117,7 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::ostringstream os;
     os << "panic: " << msg << " (" << file << ":" << line << ")\n";
     os << runCrashDumps();
-    if (g_panic_behavior == PanicBehavior::Throw)
+    if (panicBehavior() == PanicBehavior::Throw)
         throw SimInvariantError(os.str());
     std::cerr << os.str();
     std::abort();
@@ -115,7 +134,11 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "warn: " << msg << " (" << file << ":" << line << ")\n";
+    // Compose the whole line first so concurrent warnings from sweep
+    // worker threads cannot interleave mid-line.
+    std::ostringstream os;
+    os << "warn: " << msg << " (" << file << ":" << line << ")\n";
+    std::cerr << os.str();
 }
 
 } // namespace dbsim

@@ -17,6 +17,24 @@ Histogram::fracAtLeast(std::size_t i) const
     return static_cast<double>(acc) / static_cast<double>(total_);
 }
 
+void
+OccupancyTracker::advance(Cycles now, std::uint32_t in_use)
+{
+    if (now <= last_) {
+        // Zero-width sample (or a stale timestamp): nothing to charge;
+        // keep only the latest level.
+        current_ = in_use;
+        return;
+    }
+    const Cycles dt = now - last_;
+    const std::size_t idx = current_ >= time_at_.size()
+                                ? time_at_.size() - 1
+                                : current_;
+    time_at_[idx] += dt;
+    last_ = now;
+    current_ = in_use;
+}
+
 Cycles
 OccupancyTracker::busyTime() const
 {

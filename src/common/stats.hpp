@@ -77,20 +77,13 @@ class OccupancyTracker
      * Advance time to @p now (charging the elapsed interval to the
      * occupancy level in effect since the last call), then set the
      * occupancy to @p in_use.  Call on every occupancy change.
+     *
+     * Repeated samples at the same timestamp are deduplicated: they
+     * charge nothing and only the latest level survives, so callers
+     * that re-sample in a retry loop (e.g. MshrFile::drain on every
+     * failed allocation) cannot skew the distribution.
      */
-    void
-    advance(Cycles now, std::uint32_t in_use)
-    {
-        if (now > last_) {
-            const Cycles dt = now - last_;
-            const std::size_t idx = current_ >= time_at_.size()
-                                        ? time_at_.size() - 1
-                                        : current_;
-            time_at_[idx] += dt;
-            last_ = now;
-        }
-        current_ = in_use;
-    }
+    void advance(Cycles now, std::uint32_t in_use);
 
     std::uint32_t current() const { return current_; }
 

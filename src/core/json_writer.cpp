@@ -1,0 +1,231 @@
+#include "core/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dbsim::core {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size() * indent_; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        if (root_done_)
+            throw std::logic_error("JsonWriter: multiple root values");
+        return;
+    }
+    Level &top = stack_.back();
+    if (top.frame == Frame::Object) {
+        if (!top.key_pending)
+            throw std::logic_error("JsonWriter: object value without key");
+        top.key_pending = false;
+    } else {
+        if (top.count > 0)
+            os_ << ',';
+        newlineIndent();
+        ++top.count;
+    }
+}
+
+void
+JsonWriter::beforeNested()
+{
+    beforeValue();
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (stack_.empty() || stack_.back().frame != Frame::Object)
+        throw std::logic_error("JsonWriter: key outside an object");
+    Level &top = stack_.back();
+    if (top.key_pending)
+        throw std::logic_error("JsonWriter: key after key");
+    if (top.count > 0)
+        os_ << ',';
+    newlineIndent();
+    ++top.count;
+    top.key_pending = true;
+    os_ << '"' << jsonEscape(k) << "\":";
+    if (indent_ > 0)
+        os_ << ' ';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeNested();
+    os_ << '{';
+    stack_.push_back({Frame::Object});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back().frame != Frame::Object ||
+        stack_.back().key_pending) {
+        throw std::logic_error("JsonWriter: mismatched endObject");
+    }
+    const bool had_members = stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_members)
+        newlineIndent();
+    os_ << '}';
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeNested();
+    os_ << '[';
+    stack_.push_back({Frame::Array});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back().frame != Frame::Array)
+        throw std::logic_error("JsonWriter: mismatched endArray");
+    const bool had_elements = stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_elements)
+        newlineIndent();
+    os_ << ']';
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    os_ << '"' << jsonEscape(v) << '"';
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (std::isnan(v) || std::isinf(v)) {
+        // JSON has no NaN/Inf literals; null is the conventional stand-in.
+        os_ << "null";
+    } else {
+        // %.17g round-trips every double and formats deterministically.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os_ << buf;
+    }
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueNull()
+{
+    beforeValue();
+    os_ << "null";
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
+} // namespace dbsim::core

@@ -1,0 +1,270 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <thread>
+
+#include "common/log.hpp"
+#include "core/json_writer.hpp"
+#include "sim/breakdown.hpp"
+
+namespace dbsim::core {
+
+namespace {
+
+/** splitmix64 step: full-avalanche 64-bit mix for derived seeds. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------
+
+unsigned
+SweepRunner::resolveJobs(unsigned cli_jobs)
+{
+    if (cli_jobs > 0)
+        return cli_jobs;
+    if (const char *env = std::getenv("DBSIM_JOBS"); env && *env) {
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && errno != ERANGE && v > 0 &&
+            std::strchr(env, '-') == nullptr) {
+            return static_cast<unsigned>(v);
+        }
+        DBSIM_WARN("DBSIM_JOBS=\"", env,
+                   "\" is not a positive integer; ignoring it");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(resolveJobs(jobs)) {}
+
+SweepResult
+SweepRunner::runOne(const SweepItem &item, std::size_t index) const
+{
+    SweepResult out;
+    out.label = item.label;
+    out.cfg = item.cfg;
+    if (base_seed_ != 0) {
+        const std::uint64_t seed = mix64(base_seed_ ^ index);
+        out.cfg.oltp.seed = seed;
+        out.cfg.dss.seed = seed;
+    }
+    out.config = describe(out.cfg);
+    if (out.label.empty())
+        out.label = out.config;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Simulation simulation(out.cfg);
+    out.run = simulation.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    out.ch = simulation.characterize();
+    auto &n0 = simulation.system().node(0);
+    out.node0 = n0.stats();
+    out.l1d_occ = n0.l1dMshrStats().occupancy;
+    out.l1d_read_occ = n0.l1dMshrStats().read_occupancy;
+    out.l2_occ = n0.l2MshrStats().occupancy;
+    out.l2_read_occ = n0.l2MshrStats().read_occupancy;
+    out.fabric = simulation.system().fabric().stats();
+
+    const auto &mig = simulation.system().fabric().migratory();
+    const auto &ms = mig.stats();
+    out.migratory.shared_writes = ms.shared_writes;
+    out.migratory.migratory_writes = ms.migratory_writes;
+    out.migratory.dirty_reads = ms.dirty_reads;
+    out.migratory.migratory_dirty_reads = ms.migratory_dirty_reads;
+    out.migratory.migratory_lines = mig.migratoryLines();
+    out.migratory.migratory_pcs = mig.migratoryPcs();
+    out.migratory.write_fraction = ms.writeFraction();
+    out.migratory.dirty_read_fraction = ms.dirtyReadFraction();
+    out.migratory.line_concentration_70 = mig.lineConcentration(0.70);
+    out.migratory.pc_concentration_75 = mig.pcConcentration(0.75);
+
+    out.wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.sim_ips = out.wall_seconds > 0.0
+                      ? static_cast<double>(out.run.instructions) /
+                            out.wall_seconds
+                      : 0.0;
+    return out;
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepItem> &items) const
+{
+    std::vector<SweepResult> results(items.size());
+    std::vector<std::exception_ptr> errors(items.size());
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, items.size()));
+
+    auto work = [&](std::size_t i) {
+        try {
+            results[i] = runOne(items[i], i);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            work(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < items.size(); i = next.fetch_add(1)) {
+                    work(i);
+                }
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Deterministic error propagation: the lowest-index failure wins,
+    // whatever order the workers happened to hit it in.
+    for (const auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+// ---------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------
+
+void
+SweepReport::add(const std::string &section,
+                 const std::vector<SweepResult> &results)
+{
+    for (const auto &r : results)
+        entries.push_back({section, r});
+}
+
+namespace {
+
+void
+writeOccupancySeries(JsonWriter &w, const stats::OccupancyTracker &occ,
+                     std::uint32_t max_n)
+{
+    w.beginArray();
+    for (std::uint32_t n = 1; n <= max_n; ++n)
+        w.value(occ.fracAtLeast(n));
+    w.endArray();
+}
+
+void
+writeResult(JsonWriter &w, const SweepReport::Entry &e)
+{
+    const SweepResult &r = e.result;
+    w.beginObject();
+    w.kv("section", e.section);
+    w.kv("label", r.label);
+    w.kv("config", r.config);
+    w.kv("workload", workloadName(r.cfg.workload));
+    w.kv("nodes", r.cfg.system.num_nodes);
+    w.kv("cycles", static_cast<std::uint64_t>(r.run.cycles));
+    w.kv("instructions", r.run.instructions);
+    w.kv("ipc", r.run.ipc);
+    w.kv("wall_seconds", r.wall_seconds);
+    w.kv("sim_instructions_per_host_second", r.sim_ips);
+
+    w.key("breakdown").beginObject();
+    for (std::size_t i = 0; i < sim::kNumStallCats; ++i) {
+        const auto cat = static_cast<sim::StallCat>(i);
+        w.kv(sim::stallCatName(cat), r.run.breakdown[cat]);
+    }
+    w.endObject();
+
+    w.key("miss_rates").beginObject();
+    w.kv("l1i_per_fetch", r.ch.l1i_miss_per_fetch);
+    w.kv("l1i_mpki", r.ch.l1i_mpki);
+    w.kv("l1d", r.ch.l1d_miss_rate);
+    w.kv("l2", r.ch.l2_miss_rate);
+    w.kv("branch_mispredict", r.ch.branch_mispredict_rate);
+    w.kv("itlb", r.ch.itlb_miss_rate);
+    w.kv("dtlb", r.ch.dtlb_miss_rate);
+    w.endObject();
+
+    w.key("coherence").beginObject();
+    w.kv("l2_misses_total", r.ch.total_l2_misses);
+    w.kv("dirty_misses", r.ch.dirty_misses);
+    w.kv("invalidations", r.fabric.invalidations_sent);
+    w.kv("writebacks", r.fabric.writebacks);
+    w.kv("migratory_write_fraction", r.migratory.write_fraction);
+    w.kv("migratory_dirty_read_fraction",
+         r.migratory.dirty_read_fraction);
+    w.endObject();
+
+    w.key("mshr_occupancy").beginObject();
+    w.key("l1d_all");
+    writeOccupancySeries(w, r.l1d_occ, 8);
+    w.key("l1d_read");
+    writeOccupancySeries(w, r.l1d_read_occ, 8);
+    w.key("l2_all");
+    writeOccupancySeries(w, r.l2_occ, 8);
+    w.key("l2_read");
+    writeOccupancySeries(w, r.l2_read_occ, 8);
+    w.endObject();
+
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeSweepJson(std::ostream &os, const SweepReport &report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "dbsim-bench-v1");
+    w.kv("bench", report.bench);
+    w.kv("jobs", static_cast<std::uint64_t>(report.jobs));
+    w.key("results").beginArray();
+    for (const auto &e : report.entries)
+        writeResult(w, e);
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+bool
+writeSweepJsonFile(const std::string &path, const SweepReport &report)
+{
+    std::ofstream os(path);
+    if (!os) {
+        DBSIM_WARN("cannot open ", path, " for writing; no JSON report");
+        return false;
+    }
+    writeSweepJson(os, report);
+    os.flush();
+    if (!os) {
+        DBSIM_WARN("short write to ", path, "; JSON report may be invalid");
+        return false;
+    }
+    return true;
+}
+
+} // namespace dbsim::core

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Parallel configuration-sweep runner and its machine-readable report.
+ *
+ * Every figure bench replays the same workload through a list of
+ * independent configurations.  SweepRunner executes such a list on a
+ * bounded pool of host threads -- one fully independent Simulation per
+ * configuration -- and returns results in input order.
+ *
+ * Determinism contract (see DESIGN.md): the simulated results of a
+ * sweep (cycle counts, instruction counts, breakdowns, miss rates,
+ * occupancy distributions) are a pure function of the configuration
+ * list.  Running the same list with 1 job or 8 jobs produces bitwise
+ * identical simulated statistics; only wall-clock fields differ.  This
+ * holds because each Simulation owns all of its state, every stochastic
+ * decision draws from Rngs seeded by the configuration, and the few
+ * process-global facilities (logging, the crash-dump registry) are
+ * thread-safe and feedback-free.
+ */
+
+#ifndef DBSIM_CORE_SWEEP_HPP
+#define DBSIM_CORE_SWEEP_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "common/stats.hpp"
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+#include "sim/node.hpp"
+
+namespace dbsim::core {
+
+/** One configuration of a sweep. */
+struct SweepItem
+{
+    std::string label;
+    SimConfig cfg;
+};
+
+/** Migratory-sharing characterization snapshot (collected per run). */
+struct MigratorySummary
+{
+    std::uint64_t shared_writes = 0;
+    std::uint64_t migratory_writes = 0;
+    std::uint64_t dirty_reads = 0;
+    std::uint64_t migratory_dirty_reads = 0;
+    std::uint64_t migratory_lines = 0;
+    std::uint64_t migratory_pcs = 0;
+    double write_fraction = 0.0;
+    double dirty_read_fraction = 0.0;
+    double line_concentration_70 = 0.0; ///< lines covering 70% of writes
+    double pc_concentration_75 = 0.0;   ///< PCs covering 75% of references
+};
+
+/**
+ * Everything the reporting layer needs from one configuration run.
+ * Simulated statistics are deterministic in the configuration; only
+ * wall_seconds / sim_ips depend on the host.
+ */
+struct SweepResult
+{
+    std::string label;
+    std::string config;    ///< describe(cfg)
+    SimConfig cfg;
+    sim::RunResult run;
+    Characterization ch;
+    sim::NodeStats node0;  ///< node-0 cache/stream-buffer counters
+    coher::FabricStats fabric;
+    stats::OccupancyTracker l1d_occ{64};
+    stats::OccupancyTracker l1d_read_occ{64};
+    stats::OccupancyTracker l2_occ{64};
+    stats::OccupancyTracker l2_read_occ{64};
+    MigratorySummary migratory;
+    double wall_seconds = 0.0; ///< host time spent simulating this config
+    double sim_ips = 0.0;      ///< simulated instructions per host second
+
+    /** The figure row for the text reports. */
+    BreakdownRow
+    row() const
+    {
+        return BreakdownRow{label, run.breakdown, run.instructions};
+    }
+};
+
+/**
+ * Runs a list of configurations across a bounded pool of host threads.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs concurrent simulations; 0 resolves via resolveJobs(0)
+     *             (DBSIM_JOBS, then the host's hardware concurrency).
+     */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Derive per-item workload seeds as splitmix64(base ^ index) instead
+     * of using the seeds in each SimConfig.  The default (0) leaves the
+     * configs' own seeds untouched, which is what the figure benches
+     * want: every configuration replays the *same* workload.
+     */
+    void setBaseSeed(std::uint64_t base) { base_seed_ = base; }
+
+    /**
+     * Run every item; results come back in input order regardless of
+     * completion order.  If any configuration throws (e.g. ConfigError
+     * from validation), all remaining items still run, then the
+     * lowest-index exception is rethrown -- so error behavior is also
+     * independent of the job count.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepItem> &items) const;
+
+    /**
+     * Resolve a job count: a nonzero @p cli_jobs wins; otherwise a valid
+     * positive DBSIM_JOBS environment value; otherwise the host's
+     * hardware concurrency (at least 1).  Invalid DBSIM_JOBS values
+     * warn and are ignored.
+     */
+    static unsigned resolveJobs(unsigned cli_jobs);
+
+  private:
+    SweepResult runOne(const SweepItem &item, std::size_t index) const;
+
+    unsigned jobs_;
+    std::uint64_t base_seed_ = 0;
+};
+
+/**
+ * Accumulates sweep results across a bench's sections for the --json
+ * report.  The emitted document is schema "dbsim-bench-v1".
+ */
+struct SweepReport
+{
+    std::string bench;  ///< e.g. "fig2_oltp_ilp"
+    unsigned jobs = 1;
+
+    struct Entry
+    {
+        std::string section;
+        SweepResult result;
+    };
+    std::vector<Entry> entries;
+
+    void add(const std::string &section,
+             const std::vector<SweepResult> &results);
+};
+
+/** Emit the full report as JSON (schema dbsim-bench-v1). */
+void writeSweepJson(std::ostream &os, const SweepReport &report);
+
+/**
+ * Write the report to @p path (overwrites).
+ * @return false (with a warning) if the file cannot be written.
+ */
+bool writeSweepJsonFile(const std::string &path, const SweepReport &report);
+
+} // namespace dbsim::core
+
+#endif // DBSIM_CORE_SWEEP_HPP

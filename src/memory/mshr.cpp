@@ -46,18 +46,38 @@ MshrFile::touchOccupancy(Cycles now)
     stats_.read_occupancy.advance(now, readsInUse());
 }
 
+void
+MshrFile::recordFullStall(Addr block)
+{
+    // Count each stalled request once: the caller retries the same
+    // block every cycle until a register frees up, and only the first
+    // refusal of an episode is a new stall.
+    if (std::find(stalled_blocks_.begin(), stalled_blocks_.end(), block) ==
+        stalled_blocks_.end()) {
+        stalled_blocks_.push_back(block);
+        ++stats_.full_stalls;
+    }
+}
+
 bool
 MshrFile::allocate(Addr block, bool is_read, Cycles now, Cycles done)
 {
     drain(now);
     if (full()) {
-        ++stats_.full_stalls;
+        recordFullStall(block);
         return false;
     }
     DBSIM_ASSERT(findIdx(block) < 0, "primary miss already outstanding");
     entries_.push_back(Entry{block, done, is_read, !is_read});
     touchOccupancy(now); // record the new occupancy level
     ++stats_.allocations;
+    // The stalled request (if it was one) got its register; a later
+    // refusal of the same block is a new episode.
+    if (auto it = std::find(stalled_blocks_.begin(), stalled_blocks_.end(),
+                            block);
+        it != stalled_blocks_.end()) {
+        stalled_blocks_.erase(it);
+    }
     return true;
 }
 
@@ -82,13 +102,21 @@ MshrFile::coalesce(Addr block, bool is_read, Cycles now)
 void
 MshrFile::drain(Cycles now)
 {
+    // Charge the elapsed interval at the pre-drain level once.
     touchOccupancy(now);
+    const std::size_t before = entries_.size();
     entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                   [now](const Entry &e) {
                                       return e.done <= now;
                                   }),
                    entries_.end());
-    touchOccupancy(now);
+    // A second (zero-width) sample is only needed when the level
+    // actually changed; retry loops that re-drain the same cycle leave
+    // the tracker untouched.
+    if (entries_.size() != before)
+        touchOccupancy(now);
+    if (entries_.empty())
+        stalled_blocks_.clear();
 }
 
 Cycles

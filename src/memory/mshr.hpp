@@ -26,7 +26,8 @@ struct MshrStats
 {
     std::uint64_t allocations = 0;   ///< primary misses
     std::uint64_t coalesced = 0;     ///< secondary misses merged
-    std::uint64_t full_stalls = 0;   ///< allocation attempts refused (full)
+    std::uint64_t full_stalls = 0;   ///< stalled requests refused (full);
+                                     ///< one per request, not per retry
     stats::OccupancyTracker occupancy{64};      ///< all misses
     stats::OccupancyTracker read_occupancy{64}; ///< read misses only
 };
@@ -106,10 +107,19 @@ class MshrFile
     int findIdx(Addr block) const;
     void touchOccupancy(Cycles now);
     std::uint32_t readsInUse() const;
+    void recordFullStall(Addr block);
 
     std::uint32_t capacity_;
     std::vector<Entry> entries_;
     MshrStats stats_;
+
+    /**
+     * Blocks refused while the file was full, so a request retrying its
+     * allocation every cycle counts one full-stall episode instead of
+     * one per attempt.  A block leaves the set when it finally
+     * allocates (or coalesces); the set empties with the file.
+     */
+    std::vector<Addr> stalled_blocks_;
 };
 
 } // namespace dbsim::mem

@@ -20,24 +20,32 @@ Scheduler::addProcess(ProcessContext *proc, CpuId cpu)
 {
     DBSIM_ASSERT(cpu < queues_.size(), "bad affinity");
     if (affinity_.size() <= proc->id())
-        affinity_.resize(proc->id() + 1, 0);
+        affinity_.resize(proc->id() + 1, kNoAffinity);
     affinity_[proc->id()] = cpu;
     proc->state = ProcState::Ready;
     queues_[cpu].ready.push_back(proc);
     queues_[cpu].all.push_back(proc);
 }
 
+CpuId
+Scheduler::affinityOf(const ProcessContext *proc) const
+{
+    DBSIM_ASSERT(proc->id() < affinity_.size() &&
+                     affinity_[proc->id()] != kNoAffinity,
+                 "process ", proc->id(),
+                 " was never registered with addProcess");
+    return affinity_[proc->id()];
+}
+
 void
 Scheduler::wake(CpuQueue &q, Cycles now)
 {
-    for (auto it = q.blocked.begin(); it != q.blocked.end();) {
-        if ((*it)->wake_at <= now) {
-            (*it)->state = ProcState::Ready;
-            q.ready.push_back(*it);
-            it = q.blocked.erase(it);
-        } else {
-            ++it;
-        }
+    while (!q.blocked.empty() && q.blocked.front().wake_at <= now) {
+        ProcessContext *p = q.blocked.front().proc;
+        std::pop_heap(q.blocked.begin(), q.blocked.end(), WakesLater{});
+        q.blocked.pop_back();
+        p->state = ProcState::Ready;
+        q.ready.push_back(p);
     }
 }
 
@@ -57,15 +65,17 @@ void
 Scheduler::makeReady(ProcessContext *proc)
 {
     proc->state = ProcState::Ready;
-    queues_[affinity_[proc->id()]].ready.push_back(proc);
+    queues_[affinityOf(proc)].ready.push_back(proc);
 }
 
 void
 Scheduler::block(ProcessContext *proc, Cycles wake_at)
 {
+    CpuQueue &q = queues_[affinityOf(proc)];
     proc->state = ProcState::Blocked;
     proc->wake_at = wake_at;
-    queues_[affinity_[proc->id()]].blocked.push_back(proc);
+    q.blocked.push_back(BlockedEntry{wake_at, block_seq_++, proc});
+    std::push_heap(q.blocked.begin(), q.blocked.end(), WakesLater{});
 }
 
 void
@@ -96,10 +106,8 @@ Scheduler::anyIncomplete() const
 Cycles
 Scheduler::nextWake(CpuId cpu) const
 {
-    Cycles w = kNever;
-    for (const ProcessContext *p : queues_[cpu].blocked)
-        w = std::min(w, p->wake_at);
-    return w;
+    const CpuQueue &q = queues_[cpu];
+    return q.blocked.empty() ? kNever : q.blocked.front().wake_at;
 }
 
 } // namespace dbsim::sim

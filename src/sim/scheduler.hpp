@@ -4,6 +4,12 @@
  * per-CPU run queues with processes pinned to their CPUs, context
  * switches at blocking system calls (whose I/O latencies come from the
  * trace), lock-spin yields, and a round-robin time slice as a backstop.
+ *
+ * Blocked processes are kept in a per-CPU min-heap keyed on
+ * (wake_at, block order), so the run loop's event-skip computation
+ * (System::run calls nextWake for every CPU every iteration) is O(1)
+ * and waking is O(log n) per woken process instead of a linear scan of
+ * the blocked list.
  */
 
 #ifndef DBSIM_SIM_SCHEDULER_HPP
@@ -53,7 +59,7 @@ class Scheduler
 
     /**
      * Earliest wake time among blocked processes of @p cpu (kNever if
-     * none are blocked).
+     * none are blocked).  O(1): the heap root.
      */
     Cycles nextWake(CpuId cpu) const;
 
@@ -73,17 +79,42 @@ class Scheduler
     std::uint32_t numCpus() const { return static_cast<std::uint32_t>(queues_.size()); }
 
   private:
+    /** Min-heap element: earliest wake first, ties in block order. */
+    struct BlockedEntry
+    {
+        Cycles wake_at;
+        std::uint64_t seq;
+        cpu::ProcessContext *proc;
+    };
+
+    struct WakesLater
+    {
+        bool
+        operator()(const BlockedEntry &a, const BlockedEntry &b) const
+        {
+            if (a.wake_at != b.wake_at)
+                return a.wake_at > b.wake_at;
+            return a.seq > b.seq;
+        }
+    };
+
     struct CpuQueue
     {
         std::deque<cpu::ProcessContext *> ready;
-        std::vector<cpu::ProcessContext *> blocked;
+        std::vector<BlockedEntry> blocked; ///< heap ordered by WakesLater
         std::vector<cpu::ProcessContext *> all;
     };
 
     void wake(CpuQueue &q, Cycles now);
 
+    /** Affinity of @p proc; panics if it was never addProcess()ed. */
+    CpuId affinityOf(const cpu::ProcessContext *proc) const;
+
+    static constexpr CpuId kNoAffinity = ~CpuId{0};
+
     std::vector<CpuQueue> queues_;
-    std::vector<CpuId> affinity_; ///< indexed by ProcId
+    std::vector<CpuId> affinity_; ///< indexed by ProcId; kNoAffinity = unset
+    std::uint64_t block_seq_ = 0; ///< tie-break for simultaneous wakes
 };
 
 } // namespace dbsim::sim

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/errors.hpp"
+#include "common/log.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/source.hpp"
 
@@ -114,6 +116,69 @@ TEST_F(SchedFixture, HasReadyTracksQueue)
     EXPECT_TRUE(sched.hasReady(0));
     (void)sched.pickNext(0, 0);
     EXPECT_FALSE(sched.hasReady(0));
+}
+
+TEST_F(SchedFixture, UnregisteredProcessIsCaught)
+{
+    // procs[3] was never addProcess()ed: makeReady / block used to index
+    // affinity_ out of bounds (or read a stale zero).  Now they panic.
+    sched.addProcess(procs[0].get(), 0);
+    PanicThrowGuard guard;
+    EXPECT_THROW(sched.makeReady(procs[3].get()), SimInvariantError);
+    EXPECT_THROW(sched.block(procs[3].get(), 100), SimInvariantError);
+}
+
+TEST_F(SchedFixture, NextWakeIsEarliestAmongBlocked)
+{
+    sched.addProcess(procs[0].get(), 0);
+    sched.addProcess(procs[1].get(), 0);
+    sched.addProcess(procs[2].get(), 0);
+    auto *a = sched.pickNext(0, 0);
+    auto *b = sched.pickNext(0, 0);
+    auto *c = sched.pickNext(0, 0);
+    sched.block(a, 300);
+    sched.block(b, 100);
+    sched.block(c, 200);
+    EXPECT_EQ(sched.nextWake(0), 100u);
+    EXPECT_EQ(sched.pickNext(0, 100), b);
+    EXPECT_EQ(sched.nextWake(0), 200u);
+    EXPECT_EQ(sched.pickNext(0, 250), c);
+    EXPECT_EQ(sched.nextWake(0), 300u);
+    EXPECT_EQ(sched.pickNext(0, 300), a);
+    EXPECT_EQ(sched.nextWake(0), kNever);
+}
+
+TEST_F(SchedFixture, SimultaneousWakesPreserveBlockOrder)
+{
+    sched.addProcess(procs[0].get(), 0);
+    sched.addProcess(procs[1].get(), 0);
+    sched.addProcess(procs[2].get(), 0);
+    auto *a = sched.pickNext(0, 0);
+    auto *b = sched.pickNext(0, 0);
+    auto *c = sched.pickNext(0, 0);
+    // All wake at the same cycle; the ready queue must reflect the
+    // order in which they blocked (heap ties broken by sequence).
+    sched.block(b, 50);
+    sched.block(c, 50);
+    sched.block(a, 50);
+    EXPECT_EQ(sched.pickNext(0, 50), b);
+    EXPECT_EQ(sched.pickNext(0, 50), c);
+    EXPECT_EQ(sched.pickNext(0, 50), a);
+}
+
+TEST_F(SchedFixture, BlockedCountTracksHeap)
+{
+    sched.addProcess(procs[0].get(), 0);
+    sched.addProcess(procs[1].get(), 0);
+    auto *a = sched.pickNext(0, 0);
+    auto *b = sched.pickNext(0, 0);
+    sched.block(a, 10);
+    sched.block(b, 20);
+    EXPECT_EQ(sched.blockedCount(0), 2u);
+    (void)sched.pickNext(0, 15);
+    EXPECT_EQ(sched.blockedCount(0), 1u);
+    (void)sched.pickNext(0, 20);
+    EXPECT_EQ(sched.blockedCount(0), 0u);
 }
 
 } // namespace
