@@ -54,15 +54,17 @@ CoherenceChecker::auditBlock(CoherenceFabric &fabric, Addr block,
 
     // I1: directory-entry internal consistency.
     if (d.owner >= static_cast<int>(nodes) || d.owner < -1) {
-        reportViolation(describe("owner index out of range"));
+        reportViolation(block, describe("owner index out of range"));
         return;
     }
     if (d.owner >= 0 && d.sharers != 0) {
-        reportViolation(describe("owned entry still has sharer bits"));
+        reportViolation(block,
+                        describe("owned entry still has sharer bits"));
         return;
     }
     if (nodes < 32 && (d.sharers >> nodes) != 0) {
-        reportViolation(describe("sharer bits for nonexistent nodes"));
+        reportViolation(block,
+                        describe("sharer bits for nonexistent nodes"));
         return;
     }
 
@@ -75,7 +77,7 @@ CoherenceChecker::auditBlock(CoherenceFabric &fabric, Addr block,
             continue;
         // I3: while an owner is recorded, nobody else may be strong.
         if (d.owner >= 0 && d.owner != static_cast<int>(n)) {
-            reportViolation(describe(
+            reportViolation(block, describe(
                 "node " + std::to_string(n) +
                 " holds an E/M copy while node " + std::to_string(d.owner) +
                 " is the recorded owner"));
@@ -87,7 +89,8 @@ CoherenceChecker::auditBlock(CoherenceFabric &fabric, Addr block,
         const bool recorded =
             d.owner == static_cast<int>(n) || (d.sharers & (1u << n)) != 0;
         if (!recorded) {
-            reportViolation(describe("node " + std::to_string(n) +
+            reportViolation(block,
+                            describe("node " + std::to_string(n) +
                                      " holds an E/M copy unknown to the "
                                      "directory"));
             return;
@@ -96,9 +99,11 @@ CoherenceChecker::auditBlock(CoherenceFabric &fabric, Addr block,
 }
 
 void
-CoherenceChecker::reportViolation(const std::string &what)
+CoherenceChecker::reportViolation(Addr block, const std::string &what)
 {
     ++stats_.violations;
+    if (violating_blocks_.insert(block).second)
+        ++stats_.violating_blocks;
     if (panic_on_violation_)
         DBSIM_PANIC(what);
     if (violations_.size() < kMaxRecorded)

@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -53,6 +54,7 @@ struct CheckerStats
     std::uint64_t transactions = 0; ///< fabric transactions observed
     std::uint64_t audits = 0;       ///< block audits performed
     std::uint64_t violations = 0;   ///< invariant failures detected
+    std::uint64_t violating_blocks = 0; ///< distinct blocks with violations
 };
 
 /**
@@ -93,14 +95,21 @@ class CoherenceChecker
     /** Violation descriptions (collecting mode; capped at kMaxRecorded). */
     const std::vector<std::string> &violations() const { return violations_; }
 
+    /** The distinct blocks that have had violations (uncapped). */
+    const std::unordered_set<Addr> &violatingBlocks() const
+    {
+        return violating_blocks_;
+    }
+
     static constexpr std::size_t kMaxRecorded = 32;
 
   private:
-    void reportViolation(const std::string &what);
+    void reportViolation(Addr block, const std::string &what);
 
     bool panic_on_violation_;
     std::vector<std::pair<Addr, const char *>> pending_;
     std::vector<std::string> violations_;
+    std::unordered_set<Addr> violating_blocks_;
     CheckerStats stats_;
 };
 

@@ -52,7 +52,8 @@ CoherenceFabric::dirState(Addr block) const
     auto it = dir_.find(block);
     if (it == dir_.end())
         return {};
-    return {true, it->second.sharers, it->second.owner};
+    return {true, it->second.sharers, it->second.owner,
+            it->second.last_writer};
 }
 
 std::size_t
@@ -90,7 +91,9 @@ CoherenceFabric::read(std::uint32_t node, Addr block, std::uint32_t home,
             t = mesh_.control(home, owner, t);
             t = res_[owner].bus.acquire(t, params_.bus_hold);
             t += params_.owner_l2_hold;
-            sites_[owner]->siteDowngrade(block);
+            if (!(mutator_ &&
+                  mutator_->armed(verify::ProtocolBug::MissingDowngrade)))
+                sites_[owner]->siteDowngrade(block);
             t = mesh_.data(owner, node, t);
             t += params_.c2c_extra;
             const bool was_migratory = migratory_.isMigratory(block);
@@ -139,7 +142,8 @@ CoherenceFabric::read(std::uint32_t node, Addr block, std::uint32_t home,
         // Shared at the directory: service from memory, add sharer.
         t = res_[home].mem.acquire(t, params_.dram_hold);
         t = mesh_.data(home, node, t);
-        e.sharers |= 1u << node;
+        if (!(mutator_ && mutator_->armed(verify::ProtocolBug::LostSharerBit)))
+            e.sharers |= 1u << node;
         cls = home == node ? AccessClass::LocalMem : AccessClass::RemoteMem;
     } else {
         // Uncached (or the requester itself was the stale owner):
@@ -222,12 +226,19 @@ CoherenceFabric::write(std::uint32_t node, Addr block, std::uint32_t home,
     } else if ((e.sharers & ~my_bit) != 0) {
         // Invalidate all other sharers.
         Cycles acks = t;
+        bool dropped_one = false;
         for (std::uint32_t n = 0; n < num_nodes_; ++n) {
             if (n == node || !(e.sharers & (1u << n)))
                 continue;
             const Cycles arrive = mesh_.control(home, n, t);
-            if (sites_[n])
+            if (!dropped_one && mutator_ &&
+                mutator_->armed(verify::ProtocolBug::DroppedInvalidation)) {
+                // Seeded bug: this sharer never hears the invalidation
+                // (its directory bit is still cleared below).
+                dropped_one = true;
+            } else if (sites_[n]) {
                 sites_[n]->siteInvalidate(block);
+            }
             const Cycles ack = mesh_.control(n, home, arrive);
             if (ack > acks)
                 acks = ack;
@@ -256,7 +267,11 @@ CoherenceFabric::write(std::uint32_t node, Addr block, std::uint32_t home,
         cls = home == node ? AccessClass::LocalMem : AccessClass::RemoteMem;
     }
 
-    e.owner = static_cast<int>(node);
+    // Seeded StaleOwner bug: the directory forgets to record the new
+    // owner, so the writer's Modified copy contradicts (or is unknown
+    // to) the directory.
+    if (!(mutator_ && mutator_->armed(verify::ProtocolBug::StaleOwner)))
+        e.owner = static_cast<int>(node);
     e.sharers = 0;
     e.last_writer = static_cast<int>(node);
 

@@ -23,6 +23,7 @@
 #include "common/types.hpp"
 #include "interconnect/network.hpp"
 #include "memory/cache.hpp"
+#include "verify/mutator.hpp"
 
 namespace dbsim::coher {
 
@@ -35,6 +36,7 @@ struct DirSnapshot
     bool present = false;      ///< directory has an entry for the block
     std::uint32_t sharers = 0; ///< bitmask of nodes with Shared copies
     int owner = -1;            ///< node holding E/M, or -1
+    int last_writer = -1;      ///< last node granted write ownership
 };
 
 /** Classification of where a data access was serviced. */
@@ -211,6 +213,14 @@ class CoherenceFabric
     void attachChecker(CoherenceChecker *checker) { checker_ = checker; }
     CoherenceChecker *checker() const { return checker_; }
 
+    /**
+     * Attach a protocol mutator (verification layer / tests only;
+     * nullptr detaches).  The seeded bug fires at its decision point in
+     * every subsequent transaction; the caller owns the mutator and
+     * reads its trigger count.
+     */
+    void attachMutator(const verify::ProtocolMutator *m) { mutator_ = m; }
+
     /** Snapshot of the directory entry for @p block (for audits/dumps). */
     DirSnapshot dirState(Addr block) const;
 
@@ -249,6 +259,7 @@ class CoherenceFabric
     MigratoryDetector migratory_;
     FabricStats stats_;
     CoherenceChecker *checker_ = nullptr;
+    const verify::ProtocolMutator *mutator_ = nullptr;
 };
 
 } // namespace dbsim::coher

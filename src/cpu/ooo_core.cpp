@@ -353,6 +353,12 @@ Core::rollbackFrom(std::size_t idx, Cycles now)
 void
 Core::onLineInvalidated(Addr pblock)
 {
+    if (params_.mutator &&
+        params_.mutator->armed(verify::ProtocolBug::SkippedSpecSquash)) {
+        // Seeded bug: the invalidation does not flag speculative loads,
+        // so a consistency-violating early value can commit.
+        return;
+    }
     for (auto &e : window_) {
         if (e.speculative && e.mem_issued && !e.violated &&
             e.pblock == pblock) {
@@ -608,7 +614,9 @@ Core::writeBufferStage(Cycles now)
         }
         if (policy_.model() == ConsistencyModel::PC && earlier_unperformed)
             break; // one outstanding store at a time
-        if (earlier_unperformed && earlier_unperformed_epoch < w.epoch)
+        if (earlier_unperformed && earlier_unperformed_epoch < w.epoch &&
+            !(params_.mutator &&
+              params_.mutator->armed(verify::ProtocolBug::ReorderedRelease)))
             break; // WMB ordering: earlier epoch still in flight
         Cycles retry = now + 1;
         auto r = mem_->dataAccess(w.vaddr, w.pc, /*is_write=*/true, now,

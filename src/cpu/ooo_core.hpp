@@ -35,6 +35,7 @@
 #include "cpu/process.hpp"
 #include "sim/breakdown.hpp"
 #include "trace/record.hpp"
+#include "verify/mutator.hpp"
 
 namespace dbsim::cpu {
 
@@ -57,6 +58,13 @@ struct CoreParams
     BranchPredParams bp;
     ConsistencyModel model = ConsistencyModel::RC;
     ConsistencyImpl cons;
+
+    /**
+     * Protocol fault injection (verification layer / tests only).  The
+     * seeded consistency bugs -- SkippedSpecSquash, ReorderedRelease --
+     * fire at their decision points in this core.  Not owned.
+     */
+    const verify::ProtocolMutator *mutator = nullptr;
 };
 
 /** Aggregate core statistics. */

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Consistency litmus harness for the SC / PC / RC implementations.
+ *
+ * The harness runs the classic litmus shapes -- message passing (mp),
+ * store buffering (sb), load buffering (lb), independent reads of
+ * independent writes (iriw), each in a plain and a fenced variant --
+ * through the *real* cpu::ConsistencyPolicy predicates: an operation
+ * may perform exactly when loadMayIssue / storeMayIssue (plus the
+ * MB/WMB fence rules mirrored from the core's memory queue and write
+ * buffer) say it may.  It explores every interleaving of eligible
+ * perform events with memoized DFS and collects the exact set of final
+ * load-value outcomes, which the expectation matrix (suite.cpp) then
+ * compares against what each memory model must allow and forbid.
+ *
+ * Speculative load execution (the paper's ILP-enabled SC/PC
+ * implementations) is modeled the way cpu::Core implements it: a
+ * consistency-blocked load may bind a value early; a store by another
+ * processor to the same variable flags the bound load (the
+ * onLineInvalidated path); a flagged load is squashed at its ordering
+ * point and re-reads memory.  A correct implementation therefore has
+ * exactly the non-speculative outcome set -- which is the property the
+ * litmus matrix asserts -- and the SkippedSpecSquash /
+ * ReorderedRelease protocol mutants make forbidden outcomes reachable,
+ * which is how the harness proves it can detect consistency bugs.
+ */
+
+#ifndef DBSIM_VERIFY_LITMUS_HPP
+#define DBSIM_VERIFY_LITMUS_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cpu/consistency.hpp"
+#include "verify/mutator.hpp"
+
+namespace dbsim::verify {
+
+/** One instruction of a litmus thread. */
+enum class LitOp : std::uint8_t {
+    Ld,  ///< load var into the next result slot
+    St,  ///< store val to var
+    Mb,  ///< full memory barrier (orders everything)
+    Wmb, ///< write barrier (orders stores, as the core's WMB epochs)
+};
+
+struct LitInstr
+{
+    LitOp op;
+    int var = 0; ///< variable index (Ld/St)
+    int val = 0; ///< stored value (St)
+};
+
+/** A litmus test: per-thread programs over shared variables (init 0). */
+struct LitmusTest
+{
+    std::string name;
+    int num_vars = 2;
+    std::vector<std::vector<LitInstr>> threads;
+};
+
+/** An outcome: the committed values of all loads, in (thread, program
+ *  order) order. */
+using LitmusOutcome = std::vector<int>;
+
+/** Result of exhaustively executing one test under one policy. */
+struct LitmusResult
+{
+    std::set<LitmusOutcome> outcomes;
+    std::uint64_t states = 0;    ///< distinct states explored
+    std::uint64_t rollbacks = 0; ///< speculative-load squashes replayed
+};
+
+/**
+ * Exhaustively execute @p test under @p policy, optionally with a
+ * seeded consistency bug.
+ */
+LitmusResult runLitmus(const LitmusTest &test,
+                       const cpu::ConsistencyPolicy &policy,
+                       const ProtocolMutator *mutator = nullptr);
+
+/** "0,1" rendering of an outcome (for diagnostics). */
+std::string litmusOutcomeString(const LitmusOutcome &o);
+
+// Canonical litmus shapes.  @p fenced inserts a WMB between the writer
+// threads' stores and an MB between the reader threads' loads.
+LitmusTest litmusMp(bool fenced);
+LitmusTest litmusSb(bool fenced);
+LitmusTest litmusLb(bool fenced);
+LitmusTest litmusIriw(bool fenced);
+
+} // namespace dbsim::verify
+
+#endif // DBSIM_VERIFY_LITMUS_HPP

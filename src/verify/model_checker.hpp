@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Exhaustive offline model checker for the MESI directory fabric.
+ *
+ * The checker drives the *real* coher::CoherenceFabric (not a
+ * re-model): it builds a small machine out of model cache sites -- one
+ * MESI state + data-version pair per (node, block) -- and explores, by
+ * depth-first search with canonical state hashing, every interleaving
+ * of the per-node request programs (reads, writes / upgrades,
+ * evictions, flushes; migratory handoffs when adaptive_migratory is
+ * on).  Cache hits are served locally exactly as a real cache
+ * controller would (a write to an Exclusive line silently upgrades);
+ * everything else goes through the fabric, so the explored transitions
+ * are the fabric's own protocol paths.
+ *
+ * Invariants checked after every transition:
+ *  - the dynamic checker's I1-I3 (the real coher::CoherenceChecker is
+ *    attached in collecting mode and audited, so the offline and online
+ *    checkers can never drift apart);
+ *  - strict SWMR: while any node holds a block Exclusive/Modified, no
+ *    other node holds any valid copy (the full-system simulator's
+ *    silent write-upgrade approximation never fires here, because the
+ *    model sites upgrade silently only from Exclusive);
+ *  - strict directory-cache agreement: every valid copy is recorded,
+ *    every recorded owner holds a strong copy (model evictions are
+ *    always notified, so the fabric's silent-eviction tolerances must
+ *    never be needed);
+ *  - the data-value invariant: every read -- cache hit, memory
+ *    service, or cache-to-cache transfer -- observes the globally most
+ *    recent write's value (versions stand in for data);
+ *  - deadlock/livelock freedom: every transition consumes one program
+ *    operation and every operation is always enabled, so every maximal
+ *    path terminates; the checker verifies all paths reach the
+ *    all-programs-done state within the state budget and audits the
+ *    quiesced machine once more there.
+ *
+ * On violation the search stops, the failing schedule is minimized by
+ * greedy delta-removal (drop any operation whose removal preserves a
+ * violation), and the result carries the minimal counterexample trace.
+ * In panicking mode the trace is also registered with the crash-dump
+ * registry (common/log.hpp) and DBSIM_PANIC is raised, so the tool and
+ * any embedding test emit the counterexample through the same
+ * machinery the simulation integrity layer uses.
+ */
+
+#ifndef DBSIM_VERIFY_MODEL_CHECKER_HPP
+#define DBSIM_VERIFY_MODEL_CHECKER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "verify/mutator.hpp"
+
+namespace dbsim::verify {
+
+/** One protocol-level operation of a node's program. */
+enum class McOp : std::uint8_t {
+    Read,  ///< load: cache hit or GetS through the fabric
+    Write, ///< store: hit/silent upgrade or GetX/Upgrade through the fabric
+    Evict, ///< L2 replacement (writeback when the copy is Modified)
+    Flush, ///< flush/WriteThrough hint (no-op unless the node owns dirty)
+};
+
+const char *mcOpName(McOp op);
+
+/** One step: @p node performs @p op on block index @p block. */
+struct McStep
+{
+    McOp op;
+    std::uint32_t node;
+    std::uint32_t block;
+};
+
+/** A model-checking configuration: the machine and the programs. */
+struct McConfig
+{
+    std::string name;
+    std::uint32_t nodes = 2;
+    std::uint32_t blocks = 1;
+    /** Per-node operation sequences, issued in order; all interleavings
+     *  across nodes are explored. */
+    std::vector<std::vector<McStep>> programs;
+    coher::FabricParams fabric{};
+    /** Seeded protocol bug (ProtocolBug::None for the real protocol). */
+    ProtocolBug bug = ProtocolBug::None;
+    /** Exploration budget (distinct states); exceeding it fails the
+     *  run with exhausted = false rather than silently truncating. */
+    std::uint64_t max_states = 2'000'000;
+};
+
+/** Outcome of exhaustively checking one configuration. */
+struct McResult
+{
+    std::string config;
+    bool ok = true;         ///< no invariant violation found
+    bool exhausted = false; ///< the full interleaving space was explored
+    std::string violation;  ///< first violation's description
+    std::vector<McStep> trace; ///< minimized counterexample schedule
+    std::string final_dump;    ///< machine state at the violation
+    std::uint64_t states = 0;      ///< distinct states visited
+    std::uint64_t transitions = 0; ///< operations applied (incl. replays)
+    std::uint64_t interleavings = 0; ///< maximal paths reaching quiescence
+    std::uint64_t mutation_fires = 0; ///< times the seeded bug fired
+
+    /** The counterexample schedule, one op per line. */
+    std::string traceString() const;
+};
+
+/**
+ * Exhaustive DFS explorer for one McConfig.
+ */
+class ModelChecker
+{
+  public:
+    /**
+     * @param panic_on_violation  raise DBSIM_PANIC (after registering
+     *        the counterexample as a crash dump) instead of returning
+     *        the violation in the result.
+     */
+    explicit ModelChecker(McConfig cfg, bool panic_on_violation = false);
+
+    /** Explore every interleaving; first violation wins. */
+    McResult check();
+
+  private:
+    McConfig cfg_;
+    bool panic_on_violation_;
+};
+
+/** Render @p step as e.g. "n1 write b0". */
+std::string mcStepString(const McStep &step);
+
+} // namespace dbsim::verify
+
+#endif // DBSIM_VERIFY_MODEL_CHECKER_HPP

@@ -1,0 +1,314 @@
+#include "verify/suite.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace dbsim::verify {
+
+namespace {
+
+McStep rd(std::uint32_t node, std::uint32_t block = 0)
+{
+    return {McOp::Read, node, block};
+}
+McStep wr(std::uint32_t node, std::uint32_t block = 0)
+{
+    return {McOp::Write, node, block};
+}
+McStep ev(std::uint32_t node, std::uint32_t block = 0)
+{
+    return {McOp::Evict, node, block};
+}
+McStep fl(std::uint32_t node, std::uint32_t block = 0)
+{
+    return {McOp::Flush, node, block};
+}
+
+} // namespace
+
+std::vector<McConfig>
+standardConfigs()
+{
+    std::vector<McConfig> cfgs;
+
+    {
+        // Two nodes race read/upgrade/read on one block: GetS exclusive
+        // grants, owner downgrades, upgrades with sharer invalidation,
+        // cache-to-cache dirty transfers.
+        McConfig c;
+        c.name = "2n1b";
+        c.nodes = 2;
+        c.blocks = 1;
+        c.programs = {{rd(0), wr(0), rd(0)}, {rd(1), wr(1), rd(1)}};
+        cfgs.push_back(c);
+    }
+
+    {
+        // Evictions interleaved with a writer: covers the directory's
+        // shared-refill path (a reader returning after its copy was
+        // evicted) and clean/dirty replacement notifications.
+        McConfig c;
+        c.name = "2n1b-evict";
+        c.nodes = 2;
+        c.blocks = 1;
+        c.programs = {{rd(0), ev(0), rd(0), rd(0)}, {rd(1), wr(1), rd(1)}};
+        cfgs.push_back(c);
+    }
+
+    {
+        // Adaptive migratory protocol with flush hints: ping-pong
+        // write/read sequences mark the line migratory, so later reads
+        // take the exclusive-handoff path; flushes push dirty data home
+        // while keeping a Shared copy.
+        McConfig c;
+        c.name = "2n1b-migratory";
+        c.nodes = 2;
+        c.blocks = 1;
+        c.fabric.adaptive_migratory = true;
+        c.fabric.migratory_read_factor = 0.6;
+        c.programs = {{wr(0), rd(0), wr(0), fl(0)}, {wr(1), rd(1), wr(1), rd(1)}};
+        cfgs.push_back(c);
+    }
+
+    {
+        // Three nodes over two blocks (homes on different nodes), mixing
+        // all four operation kinds.
+        McConfig c;
+        c.name = "3n2b";
+        c.nodes = 3;
+        c.blocks = 2;
+        c.programs = {{wr(0, 0), rd(0, 1), ev(0, 0)},
+                      {rd(1, 0), wr(1, 1), fl(1, 1)},
+                      {rd(2, 0), rd(2, 1), wr(2, 0)}};
+        cfgs.push_back(c);
+    }
+
+    return cfgs;
+}
+
+namespace {
+
+/** Is the shape's characteristic relaxed outcome architecturally
+ *  allowed under @p model?  (Plain variants; fenced variants forbid it
+ *  under every model.) */
+bool
+relaxedAllowed(const std::string &shape, cpu::ConsistencyModel model)
+{
+    switch (model) {
+      case cpu::ConsistencyModel::SC:
+        return false; // SC forbids all four relaxations
+      case cpu::ConsistencyModel::PC:
+        return shape == "sb"; // loads bypassing stores is PC's relaxation
+      case cpu::ConsistencyModel::RC:
+        return true; // only fences order RC
+    }
+    return false;
+}
+
+LitmusRun
+runOne(const LitmusTest &test, const std::string &shape, bool fenced,
+       const LitmusOutcome &relaxed, cpu::ConsistencyModel model,
+       bool spec, const ProtocolMutator *mutator)
+{
+    cpu::ConsistencyImpl impl;
+    impl.spec_loads = spec;
+    const cpu::ConsistencyPolicy policy(model, impl);
+    const LitmusResult r = runLitmus(test, policy, mutator);
+
+    LitmusRun run;
+    run.test = test.name;
+    run.model = model;
+    run.spec_loads = spec;
+    run.outcomes = r.outcomes;
+    run.states = r.states;
+    run.rollbacks = r.rollbacks;
+    run.relaxed = relaxed;
+    run.relaxed_expected = !fenced && relaxedAllowed(shape, model);
+    run.relaxed_observed = r.outcomes.count(relaxed) != 0;
+    run.ok = run.relaxed_observed == run.relaxed_expected;
+    return run;
+}
+
+} // namespace
+
+std::vector<LitmusRun>
+runLitmusMatrix(const ProtocolMutator *mutator)
+{
+    struct Shape
+    {
+        std::string name;
+        LitmusTest (*make)(bool);
+        LitmusOutcome relaxed;
+    };
+    const std::vector<Shape> shapes = {
+        {"mp", litmusMp, {1, 0}},
+        {"sb", litmusSb, {0, 0}},
+        {"lb", litmusLb, {1, 1}},
+        {"iriw", litmusIriw, {1, 0, 1, 0}},
+    };
+    const cpu::ConsistencyModel models[] = {cpu::ConsistencyModel::SC,
+                                            cpu::ConsistencyModel::PC,
+                                            cpu::ConsistencyModel::RC};
+
+    std::vector<LitmusRun> runs;
+    for (const Shape &s : shapes) {
+        for (const bool fenced : {false, true}) {
+            const LitmusTest test = s.make(fenced);
+            for (const cpu::ConsistencyModel m : models) {
+                runs.push_back(runOne(test, s.name, fenced, s.relaxed, m,
+                                      /*spec=*/false, mutator));
+                // Speculative loads are the strict models' ILP
+                // optimization; under RC they never trigger (loads are
+                // never consistency-blocked).
+                if (m != cpu::ConsistencyModel::RC)
+                    runs.push_back(runOne(test, s.name, fenced, s.relaxed,
+                                          m, /*spec=*/true, mutator));
+            }
+        }
+    }
+    return runs;
+}
+
+bool
+litmusMatrixOk(const std::vector<LitmusRun> &runs, std::string *why)
+{
+    auto fail = [&](const std::string &what) {
+        if (why)
+            *why = what;
+        return false;
+    };
+
+    auto find = [&](const std::string &test, cpu::ConsistencyModel m,
+                    bool spec) -> const LitmusRun * {
+        for (const LitmusRun &r : runs)
+            if (r.test == test && r.model == m && r.spec_loads == spec)
+                return &r;
+        return nullptr;
+    };
+
+    std::uint64_t spec_rollbacks = 0;
+    for (const LitmusRun &r : runs) {
+        if (!r.ok)
+            return fail(r.test + " under " +
+                        cpu::consistencyModelName(r.model) +
+                        (r.spec_loads ? "+spec" : "") + ": outcome " +
+                        litmusOutcomeString(r.relaxed) +
+                        (r.relaxed_observed ? " observed but forbidden"
+                                            : " required but never observed"));
+        if (r.spec_loads)
+            spec_rollbacks += r.rollbacks;
+
+        // Outcome-set monotonicity: SC subset of PC subset of RC.
+        if (!r.spec_loads && r.model != cpu::ConsistencyModel::SC) {
+            const cpu::ConsistencyModel stronger =
+                r.model == cpu::ConsistencyModel::RC
+                    ? cpu::ConsistencyModel::PC
+                    : cpu::ConsistencyModel::SC;
+            const LitmusRun *s = find(r.test, stronger, false);
+            if (!s)
+                return fail(r.test + ": missing " +
+                            cpu::consistencyModelName(stronger) + " run");
+            for (const LitmusOutcome &o : s->outcomes)
+                if (!r.outcomes.count(o))
+                    return fail(r.test + ": outcome " +
+                                litmusOutcomeString(o) + " allowed under " +
+                                cpu::consistencyModelName(stronger) +
+                                " but not under " +
+                                cpu::consistencyModelName(r.model));
+        }
+
+        // Speculation must not change the architectural outcome set.
+        if (r.spec_loads) {
+            const LitmusRun *base = find(r.test, r.model, false);
+            if (!base || base->outcomes != r.outcomes)
+                return fail(r.test + " under " +
+                            cpu::consistencyModelName(r.model) +
+                            ": speculative outcome set differs from"
+                            " non-speculative");
+        }
+    }
+
+    // The harness must actually have exercised the rollback path --
+    // otherwise the spec-equality check above is vacuous.
+    if (spec_rollbacks == 0)
+        return fail("no speculative-load rollback was ever exercised");
+    return true;
+}
+
+std::vector<MutationVerdict>
+runMutationCatalog()
+{
+    std::vector<MutationVerdict> verdicts;
+
+    // Fabric bugs: each must produce a model-checker violation in at
+    // least one standard configuration.
+    const ProtocolBug fabric_bugs[] = {
+        ProtocolBug::DroppedInvalidation,
+        ProtocolBug::StaleOwner,
+        ProtocolBug::MissingDowngrade,
+        ProtocolBug::LostSharerBit,
+    };
+    for (const ProtocolBug bug : fabric_bugs) {
+        MutationVerdict v;
+        v.bug = bug;
+        for (McConfig cfg : standardConfigs()) {
+            cfg.bug = bug;
+            const McResult r = ModelChecker(cfg).check();
+            v.fires += r.mutation_fires;
+            if (!r.ok) {
+                v.caught = true;
+                v.detector = "model-checker/" + cfg.name;
+                v.detail = r.violation;
+                break;
+            }
+        }
+        verdicts.push_back(v);
+    }
+
+    // Consistency bugs: each must make a forbidden litmus outcome
+    // reachable.
+    {
+        // A skipped speculative-load squash lets a bound stale value
+        // commit: mp's (1,0) appears under SC with speculative loads.
+        MutationVerdict v;
+        v.bug = ProtocolBug::SkippedSpecSquash;
+        ProtocolMutator m;
+        m.bug = v.bug;
+        const LitmusTest test = litmusMp(false);
+        cpu::ConsistencyImpl impl;
+        impl.spec_loads = true;
+        const LitmusResult r =
+            runLitmus(test, {cpu::ConsistencyModel::SC, impl}, &m);
+        v.fires = m.triggers;
+        if (r.outcomes.count({1, 0})) {
+            v.caught = true;
+            v.detector = "litmus/mp SC+spec";
+            v.detail = "forbidden outcome 1,0 reachable";
+        }
+        verdicts.push_back(v);
+    }
+    {
+        // A release reordered past its WMB epoch breaks fenced message
+        // passing under RC: mp+fences admits (1,0).
+        MutationVerdict v;
+        v.bug = ProtocolBug::ReorderedRelease;
+        ProtocolMutator m;
+        m.bug = v.bug;
+        const LitmusTest test = litmusMp(true);
+        const LitmusResult r =
+            runLitmus(test, cpu::ConsistencyPolicy(cpu::ConsistencyModel::RC),
+                      &m);
+        v.fires = m.triggers;
+        if (r.outcomes.count({1, 0})) {
+            v.caught = true;
+            v.detector = "litmus/mp+fences RC";
+            v.detail = "forbidden outcome 1,0 reachable";
+        }
+        verdicts.push_back(v);
+    }
+
+    return verdicts;
+}
+
+} // namespace dbsim::verify

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Standard verification suite: the model-checking configurations, the
+ * litmus expectation matrix, and the protocol-mutation catalog.
+ *
+ * This is the single source of truth consumed by both the dbsim-mc
+ * command-line driver and the unit tests, so "what the verification
+ * layer proves" cannot drift between the two.
+ */
+
+#ifndef DBSIM_VERIFY_SUITE_HPP
+#define DBSIM_VERIFY_SUITE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/litmus.hpp"
+#include "verify/model_checker.hpp"
+#include "verify/mutator.hpp"
+
+namespace dbsim::verify {
+
+/**
+ * The standard model-checking configurations:
+ *  - "2n1b"           two nodes racing reads/upgrades on one block
+ *                     (exercises GetS, Upgrade, invalidation, c2c);
+ *  - "2n1b-evict"     adds L2 evictions, covering the directory's
+ *                     shared-read refill path after a sharer leaves;
+ *  - "2n1b-migratory" adaptive migratory protocol plus flush hints
+ *                     (exclusive handoffs to readers, sharing
+ *                     writebacks);
+ *  - "3n2b"           three nodes over two blocks, mixing all four
+ *                     operation kinds across interleaved homes.
+ */
+std::vector<McConfig> standardConfigs();
+
+/** One litmus execution compared against the model's expectation. */
+struct LitmusRun
+{
+    std::string test;
+    cpu::ConsistencyModel model;
+    bool spec_loads = false;
+    std::set<LitmusOutcome> outcomes;
+    std::uint64_t states = 0;
+    std::uint64_t rollbacks = 0;
+    LitmusOutcome relaxed;        ///< the shape's characteristic outcome
+    bool relaxed_expected = false;///< model must allow it
+    bool relaxed_observed = false;
+    bool ok = false;              ///< observed == expected
+};
+
+/**
+ * Run mp/sb/lb/iriw (plain and fenced) under SC, PC and RC -- the
+ * strict models both without and with speculative loads -- and compare
+ * each outcome set against the expectation matrix.  With @p mutator a
+ * seeded consistency bug participates (used by the mutation catalog).
+ */
+std::vector<LitmusRun> runLitmusMatrix(const ProtocolMutator *mutator = nullptr);
+
+/**
+ * Cross-run properties of a matrix result: every run ok, outcome sets
+ * monotone (SC subset of PC subset of RC per test, non-speculative),
+ * speculative outcome sets identical to non-speculative, and at least
+ * one speculative run rolled a load back.  On failure @p why (if
+ * non-null) receives a description.
+ */
+bool litmusMatrixOk(const std::vector<LitmusRun> &runs,
+                    std::string *why = nullptr);
+
+/** Outcome of hunting one seeded protocol bug. */
+struct MutationVerdict
+{
+    ProtocolBug bug = ProtocolBug::None;
+    bool caught = false;
+    std::uint64_t fires = 0;  ///< times the seeded bug actually fired
+    std::string detector;     ///< config / litmus run that caught it
+    std::string detail;       ///< violation text or forbidden outcome
+};
+
+/**
+ * Seed each catalogued protocol bug and verify the layer detects it:
+ * fabric bugs must produce a model-checker violation in some standard
+ * configuration, consistency bugs must make a forbidden litmus outcome
+ * reachable.  A verdict with caught == false (or fires == 0, meaning
+ * the bug never even executed) is a verification-layer failure.
+ */
+std::vector<MutationVerdict> runMutationCatalog();
+
+} // namespace dbsim::verify
+
+#endif // DBSIM_VERIFY_SUITE_HPP

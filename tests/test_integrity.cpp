@@ -361,6 +361,110 @@ TEST(CoherenceChecker, DetectsSilentStrongCopy)
         << checker.violations().front();
 }
 
+TEST(CoherenceChecker, CountsDistinctViolatingBlocks)
+{
+    coher::CoherenceFabric fabric(2);
+    FakeSite site0, site1;
+    fabric.attachSite(0, &site0);
+    fabric.attachSite(1, &site1);
+    coher::CoherenceChecker checker(/*panic_on_violation=*/false);
+    fabric.attachChecker(&checker);
+
+    const Addr b1 = 0x4000, b2 = 0x8000;
+    fabric.read(0, b1, 0, 0, 0x100);
+    fabric.read(0, b2, 0, 10, 0x104);
+    site0.st = mem::CoherState::Exclusive;
+    checker.auditPending(fabric, 20);
+    EXPECT_EQ(checker.stats().violations, 0u);
+    EXPECT_EQ(checker.stats().violating_blocks, 0u);
+
+    // FakeSite reports one state for every block, so node 1's bogus
+    // Modified copy corrupts both lines at once.  Auditing b1 twice
+    // must count two violations but only one violating block.
+    site1.st = mem::CoherState::Modified;
+    checker.auditBlock(fabric, b1, "test", 30);
+    checker.auditBlock(fabric, b2, "test", 31);
+    checker.auditBlock(fabric, b1, "test", 32);
+    EXPECT_EQ(checker.stats().violations, 3u);
+    EXPECT_EQ(checker.stats().violating_blocks, 2u);
+    EXPECT_EQ(checker.violatingBlocks().size(), 2u);
+    EXPECT_EQ(checker.violatingBlocks().count(b1), 1u);
+    EXPECT_EQ(checker.violatingBlocks().count(b2), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic checker vs. seeded protocol mutants
+// ---------------------------------------------------------------------
+
+/** Drive read(0) -> write(1) on one block with @p bug seeded and audit;
+ *  returns the checker for inspection. */
+struct MutantAudit
+{
+    coher::CoherenceChecker checker{/*panic_on_violation=*/false};
+    std::uint64_t triggers = 0;
+};
+
+MutantAudit
+auditWithMutant(verify::ProtocolBug bug)
+{
+    FakeSite site0, site1;
+    coher::CoherenceFabric fabric(2);
+    fabric.attachSite(0, &site0);
+    fabric.attachSite(1, &site1);
+    MutantAudit out;
+    fabric.attachChecker(&out.checker);
+    verify::ProtocolMutator mut;
+    mut.bug = bug;
+    fabric.attachMutator(&mut);
+
+    // read(0), read(1), evict(0), read(0) again (the directory-shared
+    // refill path), then write(1): every fabric mutation point is on
+    // this path.
+    const Addr block = 0x4000;
+    site0.st = fabric.read(0, block, 0, 0, 0x100).grant;
+    site1.st = fabric.read(1, block, 0, 10, 0x200).grant;
+    fabric.evict(0, block, 0, /*dirty=*/false, 20);
+    site0.st = mem::CoherState::Invalid;
+    site0.st = fabric.read(0, block, 0, 30, 0x100).grant;
+    site1.st = fabric.write(1, block, 0, 40, 0x204).grant;
+    out.checker.auditBlock(fabric, block, "test", 50);
+    out.triggers = mut.triggers;
+    return out;
+}
+
+TEST(CoherenceChecker, StaleOwnerMutantIsObservableAtAuditPoints)
+{
+    // The stale-owner mutant leaves the writer's Modified copy
+    // unrecorded -- exactly the I2/I3 condition the dynamic checker
+    // audits, so it must be flagged with a non-empty diagnostic.
+    const MutantAudit a = auditWithMutant(verify::ProtocolBug::StaleOwner);
+    EXPECT_GT(a.triggers, 0u);
+    ASSERT_GE(a.checker.stats().violations, 1u);
+    ASSERT_FALSE(a.checker.violations().empty());
+    EXPECT_FALSE(a.checker.violations().front().empty());
+    EXPECT_NE(a.checker.violations().front().find("directory"),
+              std::string::npos)
+        << a.checker.violations().front();
+    EXPECT_GE(a.checker.stats().violating_blocks, 1u);
+}
+
+TEST(CoherenceChecker, WeakCopyMutantsAreBeyondAuditScopeByDesign)
+{
+    // Dropped invalidations and lost sharer bits leave stale *Shared*
+    // copies, which the audit invariants deliberately tolerate (real
+    // L2s replace clean lines silently, so sharer bits are
+    // conservative).  These mutants are the model checker's job -- its
+    // strict agreement and data-value invariants catch them (see
+    // test_verify.cpp); here we pin down the division of labor.
+    for (const verify::ProtocolBug bug :
+         {verify::ProtocolBug::DroppedInvalidation,
+          verify::ProtocolBug::LostSharerBit}) {
+        const MutantAudit a = auditWithMutant(bug);
+        EXPECT_EQ(a.checker.stats().violations, 0u)
+            << verify::protocolBugName(bug);
+    }
+}
+
 TEST(CoherenceChecker, PanickingModeThrowsUnderGuard)
 {
     coher::CoherenceFabric fabric(2);

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Repository convention linter for the simulator sources.
+
+Enforced over every C++ file under src/:
+
+  1. no raw assert(): invariants go through DBSIM_ASSERT / DBSIM_PANIC
+     (common/log.hpp) so they survive NDEBUG builds, print context, and
+     run the crash-dump registry (static_assert is fine);
+  2. no direct stdout output (std::cout, printf, puts, fprintf(stdout)):
+     library code reports through common/log or returns data -- only
+     tools/, bench/ and examples/ own stdout (std::snprintf into a
+     buffer is formatting, not output, and stays allowed);
+  3. header include guards exist and are named DBSIM_<PATH>_<FILE>_HPP,
+     derived from the path under src/ (e.g. src/verify/litmus.hpp
+     guards DBSIM_VERIFY_LITMUS_HPP).
+
+Exit status 0 when clean, 1 with one "file:line: message" per finding
+otherwise.  Run from anywhere: paths resolve relative to the repo root
+(the parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+RAW_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+STDOUT_USE = re.compile(
+    r"std::cout|(?<![\w_])printf\s*\(|(?<![\w_])puts\s*\("
+    r"|(?<![\w_])fprintf\s*\(\s*stdout"
+)
+GUARD_IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+GUARD_DEFINE = re.compile(r"^\s*#\s*define\s+(\S+)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(SRC).with_suffix("")
+    return "DBSIM_" + "_".join(p.upper() for p in rel.parts) + "_HPP"
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    rel = path.relative_to(REPO_ROOT)
+    text = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(text)
+
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if RAW_ASSERT.search(line):
+            findings.append(
+                f"{rel}:{lineno}: raw assert(); use DBSIM_ASSERT "
+                "(common/log.hpp)"
+            )
+        if STDOUT_USE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: direct stdout output in library code; "
+                "use common/log or return data"
+            )
+
+    if path.suffix == ".hpp":
+        ifndef = define = None
+        ifndef_line = 0
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if ifndef is None:
+                m = GUARD_IFNDEF.match(line)
+                if m:
+                    ifndef, ifndef_line = m.group(1), lineno
+            elif define is None:
+                m = GUARD_DEFINE.match(line)
+                if m:
+                    define = m.group(1)
+                    break
+        want = expected_guard(path)
+        if ifndef is None or define is None:
+            findings.append(f"{rel}:1: missing include guard {want}")
+        elif ifndef != want or define != want:
+            findings.append(
+                f"{rel}:{ifndef_line}: include guard {ifndef}/{define} "
+                f"should be {want}"
+            )
+
+    return findings
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print(f"lint_conventions: {SRC} not found", file=sys.stderr)
+        return 2
+    files = sorted(
+        p for p in SRC.rglob("*") if p.suffix in (".cpp", ".hpp")
+    )
+    if not files:
+        print("lint_conventions: no sources found under src/",
+              file=sys.stderr)
+        return 2
+    findings = [f for path in files for f in lint_file(path)]
+    for f in findings:
+        print(f)
+    print(
+        f"lint_conventions: {len(files)} files, {len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
