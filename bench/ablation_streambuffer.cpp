@@ -11,6 +11,9 @@
  * doubles the coherence granularity -- noted in EXPERIMENTS.md).
  *
  * Usage: ablation_streambuffer [--jobs N] [--json PATH]
+ *        plus the shared fault-tolerance flags (bench_util.hpp):
+ *        [--journal PATH|none] [--resume JOURNAL] [--on-failure abort|collect]
+ *        [--max-retries N] [--item-timeout-sec S]
  */
 
 #include <cstdio>

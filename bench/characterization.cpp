@@ -14,6 +14,9 @@
  *
  * Usage: characterization [--sharing] [--oltp] [--dss]
  *                         [--jobs N] [--json PATH]
+ *        plus the shared fault-tolerance flags (bench_util.hpp):
+ *        [--journal PATH|none] [--resume JOURNAL] [--on-failure abort|collect]
+ *        [--max-retries N] [--item-timeout-sec S]
  */
 
 #include <iostream>
@@ -33,6 +36,13 @@ characterizeOne(bench::BenchContext &ctx, core::WorkloadKind kind,
     const char *wname = core::workloadName(kind);
     const auto results =
         ctx.sweep(wname, {{wname, core::makeScaledConfig(kind)}});
+    if (results.empty()) {
+        // Replayed from a resume journal (or failed under collect):
+        // the JSON report still carries the numbers.
+        std::cout << "(" << wname
+                  << ": no freshly-run results to print)\n";
+        return;
+    }
     const core::SweepResult &res = results.front();
     const sim::RunResult &r = res.run;
     const core::Characterization &c = res.ch;

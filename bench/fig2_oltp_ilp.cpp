@@ -12,6 +12,9 @@
  *  (d)-(g) little read-miss overlap; occupancy driven by writes.
  *
  * Usage: fig2_oltp_ilp [--occupancy] [--jobs N] [--json PATH]
+ *        plus the shared fault-tolerance flags (bench_util.hpp):
+ *        [--journal PATH|none] [--resume JOURNAL] [--on-failure abort|collect]
+ *        [--max-retries N] [--item-timeout-sec S]
  */
 
 #include "ilp_figure.hpp"

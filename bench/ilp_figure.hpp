@@ -95,6 +95,11 @@ runIlpFigure(BenchContext &ctx, core::WorkloadKind kind,
     {
         const auto results = ctx.sweep(
             "occupancy", {{"base", core::makeScaledConfig(kind)}});
+        if (results.empty()) {
+            // Replayed from a resume journal (or failed under collect).
+            std::cout << "(occupancy: no freshly-run results to print)\n";
+            return;
+        }
         const core::SweepResult &out = results.front();
         core::printHeader(std::cout,
                           std::string("(d)-(g) MSHR occupancy, ") + wname);

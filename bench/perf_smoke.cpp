@@ -8,6 +8,9 @@
  * second for each configuration.
  *
  * Usage: perf_smoke [--jobs N] [--json PATH]
+ *        plus the shared fault-tolerance flags (bench_util.hpp):
+ *        [--journal PATH|none] [--resume JOURNAL] [--on-failure abort|collect]
+ *        [--max-retries N] [--item-timeout-sec S]
  */
 
 #include <cstdio>
@@ -51,8 +54,17 @@ run(dbsim::bench::BenchOptions opts)
                     static_cast<unsigned long long>(r.run.instructions),
                     r.run.ipc, r.wall_seconds, r.sim_ips / 1e6);
     }
-    std::cout << "\nreport: " << opts.json_path << "\n";
-    return ctx.finish();
+    // finish() returns nonzero when the JSON report could not be
+    // written (or items failed under collect/retry); CI keys off the
+    // exit code, so never announce a report that is not actually there.
+    const int code = ctx.finish();
+    if (code == 0)
+        std::cout << "\nreport: " << opts.json_path << "\n";
+    else
+        std::cerr << "perf_smoke: finishing with exit code " << code
+                  << " (report " << opts.json_path << " is stale or "
+                  << "incomplete)\n";
+    return code;
 }
 
 int

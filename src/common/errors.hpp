@@ -8,6 +8,10 @@
  * SimInvariantError  -- an internal simulator invariant was violated
  *                       (coherence audit failure, forward-progress
  *                       watchdog, DBSIM_PANIC in throwing mode).
+ * SimTimeoutError    -- a host-side per-item deadline expired while the
+ *                       simulation was still running (sweep fault
+ *                       isolation); carries the machine-state dump taken
+ *                       at the point the deadline was noticed.
  */
 
 #ifndef DBSIM_COMMON_ERRORS_HPP
@@ -51,6 +55,29 @@ class SimInvariantError : public std::runtime_error
 {
   public:
     using std::runtime_error::runtime_error;
+};
+
+/**
+ * A host-side deadline (sweep --item-timeout-sec / DBSIM_ITEM_TIMEOUT)
+ * expired while a simulation was still running.  Thrown from the
+ * System::run loop, so every destructor on the way out runs normally
+ * and the machine can be rebuilt for a retry.  The dump() is the
+ * machineStateDump() taken when the deadline was noticed, kept separate
+ * from what() so reporting layers can bound its size independently.
+ */
+class SimTimeoutError : public std::runtime_error
+{
+  public:
+    SimTimeoutError(const std::string &msg, std::string dump)
+        : std::runtime_error(msg), dump_(std::move(dump))
+    {
+    }
+
+    /** Machine state at deadline expiry (may be empty). */
+    const std::string &dump() const { return dump_; }
+
+  private:
+    std::string dump_;
 };
 
 } // namespace dbsim

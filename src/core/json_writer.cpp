@@ -228,4 +228,16 @@ JsonWriter::valueNull()
     return *this;
 }
 
+JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    if (json.empty())
+        throw std::logic_error("JsonWriter: empty rawValue");
+    beforeValue();
+    os_ << json;
+    if (stack_.empty())
+        root_done_ = true;
+    return *this;
+}
+
 } // namespace dbsim::core

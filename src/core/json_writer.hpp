@@ -66,6 +66,16 @@ class JsonWriter
     JsonWriter &value(std::int32_t v) { return value(std::int64_t{v}); }
     JsonWriter &valueNull();
 
+    /**
+     * Emit @p json verbatim in value position (comma/indent bookkeeping
+     * still applies).  The caller vouches that @p json is one complete,
+     * well-formed JSON value; the writer only rejects an empty string.
+     * This is how the sweep reporter splices journaled result lines --
+     * rendered by this same writer in an earlier process -- into a
+     * resumed report without a JSON parser.
+     */
+    JsonWriter &rawValue(std::string_view json);
+
     /** key(k) + value(v) in one call. */
     template <typename T>
     JsonWriter &

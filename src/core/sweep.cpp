@@ -6,12 +6,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
-#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 
+#include "common/errors.hpp"
 #include "common/log.hpp"
 #include "core/json_writer.hpp"
 #include "sim/breakdown.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace dbsim::core {
 
@@ -27,7 +31,69 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+/** Ceiling on the diagnostic dump text carried by a SweepFailure. */
+constexpr std::size_t kMaxDumpExcerpt = 4000;
+
+std::string
+truncated(std::string s)
+{
+    if (s.size() > kMaxDumpExcerpt) {
+        s.resize(kMaxDumpExcerpt);
+        s += "\n... [truncated]";
+    }
+    return s;
+}
+
+/** Split an error message into (first line, remainder). */
+std::pair<std::string, std::string>
+splitFirstLine(const std::string &msg)
+{
+    const std::size_t nl = msg.find('\n');
+    if (nl == std::string::npos)
+        return {msg, {}};
+    return {msg.substr(0, nl), msg.substr(nl + 1)};
+}
+
 } // namespace
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::Config:
+        return "config";
+      case FailureKind::Invariant:
+        return "invariant";
+      case FailureKind::Timeout:
+        return "timeout";
+      case FailureKind::Exception:
+        return "exception";
+    }
+    return "unknown";
+}
+
+std::string
+FailurePolicy::describe() const
+{
+    switch (mode) {
+      case Mode::Abort:
+        return "abort";
+      case Mode::Collect:
+        return "collect";
+      case Mode::Retry:
+        return "retry:" + std::to_string(max_attempts);
+    }
+    return "unknown";
+}
+
+std::size_t
+SweepOutcome::failures() const
+{
+    std::size_t n = 0;
+    for (const auto &o : items)
+        n += o.ok() ? 0 : 1;
+    return n;
+}
 
 // ---------------------------------------------------------------------
 // SweepRunner
@@ -36,28 +102,87 @@ mix64(std::uint64_t x)
 unsigned
 SweepRunner::resolveJobs(unsigned cli_jobs)
 {
-    if (cli_jobs > 0)
-        return cli_jobs;
-    if (const char *env = std::getenv("DBSIM_JOBS"); env && *env) {
+    unsigned resolved = 0;
+    const char *source = "--jobs";
+    if (cli_jobs > 0) {
+        resolved = cli_jobs;
+    } else if (const char *env = std::getenv("DBSIM_JOBS"); env && *env) {
         errno = 0;
         char *end = nullptr;
         const unsigned long v = std::strtoul(env, &end, 10);
         if (end != env && *end == '\0' && errno != ERANGE && v > 0 &&
             std::strchr(env, '-') == nullptr) {
-            return static_cast<unsigned>(v);
+            // Clamp before the unsigned narrowing: a huge DBSIM_JOBS
+            // must not wrap into a small (or zero) thread count.
+            resolved = v > kMaxJobs ? kMaxJobs + 1
+                                    : static_cast<unsigned>(v);
+            source = "DBSIM_JOBS";
+        } else {
+            DBSIM_WARN("DBSIM_JOBS=\"", env,
+                       "\" is not a positive integer; ignoring it");
         }
-        DBSIM_WARN("DBSIM_JOBS=\"", env,
-                   "\" is not a positive integer; ignoring it");
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    if (resolved == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? std::min(hw, kMaxJobs) : 1;
+    }
+    if (resolved > kMaxJobs) {
+        DBSIM_WARN(source, " asks for ", resolved,
+                   " concurrent simulations; clamping to ", kMaxJobs,
+                   " (each job is a full Simulation on its own thread)");
+        return kMaxJobs;
+    }
+    return resolved;
+}
+
+double
+SweepRunner::resolveItemTimeout(double cli_seconds)
+{
+    if (cli_seconds > 0.0)
+        return cli_seconds;
+    const char *env = std::getenv("DBSIM_ITEM_TIMEOUT");
+    if (!env || !*env)
+        return 0.0;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-') != nullptr) {
+        DBSIM_WARN("DBSIM_ITEM_TIMEOUT=\"", env,
+                   "\" is not a valid timeout (expected a nonnegative "
+                   "number of seconds); ignoring it");
+        return 0.0;
+    }
+    return static_cast<double>(v);
 }
 
 SweepRunner::SweepRunner(unsigned jobs) : jobs_(resolveJobs(jobs)) {}
 
 SweepResult
-SweepRunner::runOne(const SweepItem &item, std::size_t index) const
+SweepRunner::runOne(const SweepItem &item, std::size_t index,
+                    unsigned attempt) const
 {
+    // The deadline covers everything below, including injected delays,
+    // so a Delay fault plus a short timeout exercises the real
+    // mid-simulation abandonment path.
+    sim::HostDeadlineScope deadline(item_timeout_sec_);
+
+    if (fault_plan_) {
+        if (const FaultSpec *f = fault_plan_->match(index, attempt)) {
+            switch (f->kind) {
+              case FaultSpec::Kind::Throw:
+                throw std::runtime_error(f->message);
+              case FaultSpec::Kind::Panic:
+                DBSIM_PANIC("injected fault: ", f->message);
+                break;
+              case FaultSpec::Kind::Delay:
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(f->delay_seconds));
+                break;
+            }
+        }
+    }
+
     SweepResult out;
     out.label = item.label;
     out.cfg = item.cfg;
@@ -106,22 +231,118 @@ SweepRunner::runOne(const SweepItem &item, std::size_t index) const
     return out;
 }
 
-std::vector<SweepResult>
-SweepRunner::run(const std::vector<SweepItem> &items) const
+SweepItemOutcome
+SweepRunner::runIsolated(const SweepItem &item, std::size_t index) const
 {
-    std::vector<SweepResult> results(items.size());
-    std::vector<std::exception_ptr> errors(items.size());
+    const unsigned max_attempts =
+        policy_.mode == FailurePolicy::Mode::Retry
+            ? std::max(1u, policy_.max_attempts)
+            : 1u;
+
+    SweepItemOutcome out;
+    out.index = index;
+
+    for (unsigned attempt = 1;; ++attempt) {
+        FailureKind kind = FailureKind::Exception;
+        std::string what;
+        std::string excerpt;
+        try {
+            out.result = runOne(item, index, attempt);
+            out.status = SweepItemOutcome::Status::Ok;
+            out.attempts = attempt;
+            return out;
+        } catch (const ConfigError &e) {
+            kind = FailureKind::Config;
+            what = e.what();
+            out.error = std::current_exception();
+        } catch (const SimTimeoutError &e) {
+            kind = FailureKind::Timeout;
+            what = e.what();
+            excerpt = truncated(e.dump());
+            out.error = std::current_exception();
+        } catch (const SimInvariantError &e) {
+            // The panic path appends the crash-dump registry's text
+            // after the first line of the message; split it back apart.
+            kind = FailureKind::Invariant;
+            auto [head, rest] = splitFirstLine(e.what());
+            what = std::move(head);
+            excerpt = truncated(std::move(rest));
+            out.error = std::current_exception();
+        } catch (const std::exception &e) {
+            kind = FailureKind::Exception;
+            what = e.what();
+            out.error = std::current_exception();
+        } catch (...) {
+            kind = FailureKind::Exception;
+            what = "unknown exception";
+            out.error = std::current_exception();
+        }
+
+        // Configuration rejections are deterministic in the item, so
+        // retrying them can only reproduce the same refusal.
+        const bool retryable = kind != FailureKind::Config;
+        if (retryable && attempt < max_attempts) {
+            DBSIM_WARN("sweep item ", index, " (\"", item.label,
+                       "\") failed attempt ", attempt, "/", max_attempts,
+                       " [", failureKindName(kind), "]: ", what,
+                       "; retrying with identical seeds");
+            continue;
+        }
+
+        out.status = SweepItemOutcome::Status::Failed;
+        out.attempts = attempt;
+        out.failure.label =
+            item.label.empty() ? describe(item.cfg) : item.label;
+        out.failure.index = index;
+        out.failure.kind = kind;
+        out.failure.what = std::move(what);
+        out.failure.crash_dump_excerpt = std::move(excerpt);
+        out.failure.attempts = attempt;
+        return out;
+    }
+}
+
+SweepOutcome
+SweepRunner::runChecked(const std::vector<SweepItem> &items) const
+{
+    std::vector<std::size_t> identity(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        identity[i] = i;
+    return runChecked(items, identity);
+}
+
+SweepOutcome
+SweepRunner::runChecked(
+    const std::vector<SweepItem> &items,
+    const std::vector<std::size_t> &original_indices) const
+{
+    DBSIM_ASSERT(original_indices.size() == items.size(),
+                 "runChecked: ", items.size(), " items but ",
+                 original_indices.size(), " original indices");
+
+    // Under an isolating policy a DBSIM_PANIC anywhere in an item must
+    // surface as a catchable SimInvariantError, not a process abort.
+    // The guard is process-global; workers inherit it for the duration
+    // of the sweep.  Abort mode keeps today's semantics (a panic takes
+    // the process down unless a test installed its own guard).
+    std::optional<PanicThrowGuard> guard;
+    if (policy_.isolating())
+        guard.emplace();
+
+    SweepOutcome out;
+    out.items.resize(items.size());
+
+    std::mutex cb_mu;
+    auto work = [&](std::size_t i) {
+        out.items[i] = runIsolated(items[i], original_indices[i]);
+        if (on_complete_) {
+            std::lock_guard<std::mutex> lock(cb_mu);
+            on_complete_(out.items[i]);
+        }
+    };
 
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, items.size()));
-
-    auto work = [&](std::size_t i) {
-        try {
-            results[i] = runOne(items[i], i);
-        } catch (...) {
-            errors[i] = std::current_exception();
-        }
-    };
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < items.size(); ++i)
@@ -141,13 +362,29 @@ SweepRunner::run(const std::vector<SweepItem> &items) const
         for (auto &t : pool)
             t.join();
     }
+    return out;
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepItem> &items) const
+{
+    // Legacy entry point: always abort semantics, whatever policy the
+    // runner carries -- callers that want isolation use runChecked().
+    SweepRunner aborting(*this);
+    aborting.policy_ = FailurePolicy::abort();
+    const SweepOutcome out = aborting.runChecked(items);
 
     // Deterministic error propagation: the lowest-index failure wins,
     // whatever order the workers happened to hit it in.
-    for (const auto &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
+    for (const auto &o : out.items) {
+        if (!o.ok() && o.error)
+            std::rethrow_exception(o.error);
     }
+
+    std::vector<SweepResult> results;
+    results.reserve(out.items.size());
+    for (auto &o : out.items)
+        results.push_back(std::move(o.result));
     return results;
 }
 
@@ -159,8 +396,45 @@ void
 SweepReport::add(const std::string &section,
                  const std::vector<SweepResult> &results)
 {
-    for (const auto &r : results)
-        entries.push_back({section, r});
+    for (const auto &r : results) {
+        Entry e;
+        e.section = section;
+        e.outcome.status = SweepItemOutcome::Status::Ok;
+        e.outcome.index = entries.size();
+        e.outcome.attempts = 1;
+        e.outcome.result = r;
+        entries.push_back(std::move(e));
+    }
+}
+
+void
+SweepReport::add(const std::string &section, const SweepOutcome &outcome)
+{
+    for (const auto &o : outcome.items) {
+        Entry e;
+        e.section = section;
+        e.outcome = o;
+        entries.push_back(std::move(e));
+    }
+}
+
+void
+SweepReport::addReplayed(const std::string &section, std::string raw_line)
+{
+    Entry e;
+    e.section = section;
+    e.replayed = true;
+    e.raw = std::move(raw_line);
+    entries.push_back(std::move(e));
+}
+
+std::size_t
+SweepReport::failures() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries)
+        n += (!e.replayed && !e.outcome.ok()) ? 1 : 0;
+    return n;
 }
 
 namespace {
@@ -176,12 +450,8 @@ writeOccupancySeries(JsonWriter &w, const stats::OccupancyTracker &occ,
 }
 
 void
-writeResult(JsonWriter &w, const SweepReport::Entry &e)
+writeResultBody(JsonWriter &w, const SweepResult &r)
 {
-    const SweepResult &r = e.result;
-    w.beginObject();
-    w.kv("section", e.section);
-    w.kv("label", r.label);
     w.kv("config", r.config);
     w.kv("workload", workloadName(r.cfg.workload));
     w.kv("nodes", r.cfg.system.num_nodes);
@@ -228,23 +498,54 @@ writeResult(JsonWriter &w, const SweepReport::Entry &e)
     w.key("l2_read");
     writeOccupancySeries(w, r.l2_read_occ, 8);
     w.endObject();
-
-    w.endObject();
 }
 
 } // namespace
+
+std::string
+renderSweepEntryJson(const std::string &section,
+                     const SweepItemOutcome &outcome)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*indent=*/0);
+    w.beginObject();
+    w.kv("section", section);
+    w.kv("label", outcome.ok() ? outcome.result.label
+                               : outcome.failure.label);
+    w.kv("index", static_cast<std::uint64_t>(outcome.index));
+    w.kv("status", outcome.ok() ? "ok" : "failed");
+    w.kv("attempts", static_cast<std::uint64_t>(outcome.attempts));
+    if (outcome.ok()) {
+        writeResultBody(w, outcome.result);
+    } else {
+        w.key("error").beginObject();
+        w.kv("kind", failureKindName(outcome.failure.kind));
+        w.kv("what", outcome.failure.what);
+        w.kv("crash_dump_excerpt", outcome.failure.crash_dump_excerpt);
+        w.endObject();
+    }
+    w.endObject();
+    return os.str();
+}
 
 void
 writeSweepJson(std::ostream &os, const SweepReport &report)
 {
     JsonWriter w(os);
     w.beginObject();
-    w.kv("schema", "dbsim-bench-v1");
+    w.kv("schema", "dbsim-bench-v2");
     w.kv("bench", report.bench);
     w.kv("jobs", static_cast<std::uint64_t>(report.jobs));
+    w.kv("failure_policy", report.failure_policy);
+    w.kv("item_timeout_sec", report.item_timeout_sec);
+    w.kv("items", static_cast<std::uint64_t>(report.entries.size()));
+    w.kv("failures", static_cast<std::uint64_t>(report.failures()));
     w.key("results").beginArray();
-    for (const auto &e : report.entries)
-        writeResult(w, e);
+    for (const auto &e : report.entries) {
+        w.rawValue(e.replayed
+                       ? e.raw
+                       : renderSweepEntryJson(e.section, e.outcome));
+    }
     w.endArray();
     w.endObject();
     os << '\n';
@@ -265,6 +566,250 @@ writeSweepJsonFile(const std::string &path, const SweepReport &report)
         return false;
     }
     return true;
+}
+
+// ---------------------------------------------------------------------
+// Journal + resume
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Extract the string value of top-level @p key from a compact JSON
+ * object line produced by renderSweepEntryJson().  Escape-aware reverse
+ * of jsonEscape for the common sequences; returns false when the key is
+ * absent or the value is malformed (e.g. a torn line).
+ */
+bool
+extractJsonString(const std::string &line, const std::string &key,
+                  std::string &out)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t start = line.find(needle);
+    if (start == std::string::npos)
+        return false;
+    out.clear();
+    std::size_t i = start + needle.size();
+    while (i < line.size()) {
+        const char c = line[i];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out += c;
+            ++i;
+            continue;
+        }
+        if (i + 1 >= line.size())
+            return false;
+        const char e = line[i + 1];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (i + 5 >= line.size())
+                return false;
+            unsigned v = 0;
+            for (int k = 2; k <= 5; ++k) {
+                const char h = line[i + k];
+                v <<= 4;
+                if (h >= '0' && h <= '9')
+                    v |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    v |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    v |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            // jsonEscape only emits \u00XX for control bytes.
+            out += static_cast<char>(v & 0xff);
+            i += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        i += 2;
+    }
+    return false; // unterminated string: torn line
+}
+
+/** Structural balance outside strings: cheap complete-object check. */
+bool
+balancedObjectLine(const std::string &line)
+{
+    if (line.empty() || line.front() != '{' || line.back() != '}')
+        return false;
+    int depth = 0;
+    bool in_string = false, escaped = false;
+    for (const char c : line) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+} // namespace
+
+bool
+SweepJournal::open(const std::string &path, bool append)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (os_.is_open())
+        os_.close();
+    // A killed writer can leave a torn final line with no newline;
+    // appending straight after it would corrupt the first new entry, so
+    // terminate the torn line first.
+    bool needs_newline = false;
+    if (append) {
+        std::ifstream existing(path, std::ios::binary | std::ios::ate);
+        if (existing && existing.tellg() > 0) {
+            existing.seekg(-1, std::ios::end);
+            needs_newline = existing.get() != '\n';
+        }
+    }
+    os_.open(path, append ? std::ios::app : std::ios::trunc);
+    if (!os_) {
+        DBSIM_WARN("cannot open sweep journal ", path,
+                   " for writing; the sweep will not be resumable");
+        path_.clear();
+        return false;
+    }
+    if (needs_newline)
+        os_ << '\n';
+    path_ = path;
+    return true;
+}
+
+void
+SweepJournal::append(const std::string &section,
+                     const SweepItemOutcome &outcome)
+{
+    appendRaw(renderSweepEntryJson(section, outcome));
+}
+
+void
+SweepJournal::appendRaw(const std::string &raw_line)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!os_.is_open())
+        return;
+    os_ << raw_line << '\n';
+    // One flush per finished item: a killed process keeps every line
+    // already written, which is the whole point of the journal.
+    os_.flush();
+    if (!os_) {
+        DBSIM_WARN("short write to sweep journal ", path_,
+                   "; resume data may be incomplete");
+    }
+}
+
+void
+SweepJournal::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (os_.is_open())
+        os_.close();
+}
+
+std::vector<SweepJournalEntry>
+SweepJournal::load(const std::string &path)
+{
+    std::vector<SweepJournalEntry> entries;
+    std::ifstream is(path);
+    if (!is) {
+        DBSIM_WARN("cannot read sweep journal ", path,
+                   "; nothing to resume from");
+        return entries;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        SweepJournalEntry e;
+        e.raw = line;
+        if (!balancedObjectLine(line) ||
+            !extractJsonString(line, "section", e.section) ||
+            !extractJsonString(line, "label", e.label) ||
+            !extractJsonString(line, "status", e.status)) {
+            // Most likely a torn final line from a mid-write kill; the
+            // item it described simply re-runs.
+            DBSIM_WARN("sweep journal ", path, " line ", lineno,
+                       " is incomplete or malformed; skipping it");
+            continue;
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+ResumePlan
+planResume(const std::string &section,
+           const std::vector<SweepItem> &items,
+           const std::vector<SweepJournalEntry> &entries)
+{
+    ResumePlan plan;
+    plan.replayed.resize(items.size());
+    std::vector<bool> consumed(entries.size(), false);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const std::string label =
+            items[i].label.empty() ? describe(items[i].cfg)
+                                   : items[i].label;
+        bool found = false;
+        for (std::size_t j = 0; j < entries.size(); ++j) {
+            if (consumed[j] || !entries[j].ok() ||
+                entries[j].section != section ||
+                entries[j].label != label) {
+                continue;
+            }
+            consumed[j] = true;
+            plan.replayed[i] = entries[j].raw;
+            found = true;
+            break;
+        }
+        if (!found)
+            plan.to_run.push_back(i);
+    }
+    return plan;
 }
 
 } // namespace dbsim::core

@@ -1,6 +1,7 @@
 #include "sim/diagnostics.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -9,6 +10,58 @@
 #include "sim/system.hpp"
 
 namespace dbsim::sim {
+
+namespace {
+
+// Per-thread deadline state: each sweep worker arms its own item's
+// deadline, so concurrently running simulations cannot time each other
+// out.
+thread_local bool t_deadline_armed = false;
+thread_local double t_deadline_seconds = 0.0;
+thread_local std::chrono::steady_clock::time_point t_deadline{};
+
+} // namespace
+
+void
+setHostDeadline(double seconds)
+{
+    if (seconds <= 0.0) {
+        clearHostDeadline();
+        return;
+    }
+    t_deadline_armed = true;
+    t_deadline_seconds = seconds;
+    t_deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds));
+}
+
+void
+clearHostDeadline()
+{
+    t_deadline_armed = false;
+    t_deadline_seconds = 0.0;
+}
+
+bool
+hostDeadlineArmed()
+{
+    return t_deadline_armed;
+}
+
+bool
+hostDeadlineExpired()
+{
+    return t_deadline_armed &&
+           std::chrono::steady_clock::now() >= t_deadline;
+}
+
+double
+hostDeadlineSeconds()
+{
+    return t_deadline_armed ? t_deadline_seconds : 0.0;
+}
 
 Cycles
 cyclesFromEnv(const char *name)

@@ -14,6 +14,14 @@
  * progressLine() is the periodic one-line trace formerly printf'd by
  * System::run under DBSIM_DEBUG; cyclesFromEnv() is the hardened parser
  * for that knob (warns on garbage instead of silently reading 0).
+ *
+ * The host-deadline API is the cooperative half of the sweep runner's
+ * per-item timeout: the thread about to run a simulation arms a
+ * wall-clock deadline (thread-local, so concurrent sweep workers do not
+ * interfere), and the System::run loop polls it cheaply, converting an
+ * expired deadline into a SimTimeoutError that carries the machine-state
+ * dump -- a hung configuration becomes a structured, retryable failure
+ * instead of a stuck process.
  */
 
 #ifndef DBSIM_SIM_DIAGNOSTICS_HPP
@@ -26,6 +34,38 @@
 namespace dbsim::sim {
 
 class System;
+
+/**
+ * Arm a wall-clock deadline @p seconds from now for simulations run on
+ * the *calling thread*.  Values <= 0 clear any armed deadline.
+ */
+void setHostDeadline(double seconds);
+
+/** Disarm the calling thread's host deadline. */
+void clearHostDeadline();
+
+/** True when the calling thread has a deadline armed. */
+bool hostDeadlineArmed();
+
+/** True when the calling thread's armed deadline has passed. */
+bool hostDeadlineExpired();
+
+/** Seconds the calling thread's deadline was armed with (0 if none). */
+double hostDeadlineSeconds();
+
+/** Scoped arming of the calling thread's host deadline. */
+class HostDeadlineScope
+{
+  public:
+    explicit HostDeadlineScope(double seconds)
+    {
+        if (seconds > 0.0)
+            setHostDeadline(seconds);
+    }
+    ~HostDeadlineScope() { clearHostDeadline(); }
+    HostDeadlineScope(const HostDeadlineScope &) = delete;
+    HostDeadlineScope &operator=(const HostDeadlineScope &) = delete;
+};
 
 /**
  * Parse a nonnegative cycle count from environment variable @p name.

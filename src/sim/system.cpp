@@ -365,7 +365,26 @@ System::run(std::uint64_t max_instructions,
     std::uint64_t last_retired = totalRetired();
     Cycles last_progress = now_;
 
+    // Host-side per-item deadline (sweep fault isolation).  Armed is
+    // latched once: arming happens before run() on the same thread, and
+    // polling the wall clock every iteration would be measurable, so the
+    // check runs every few thousand loop iterations -- still sub-second
+    // reaction for any simulation actually making iterations.
+    const bool deadline_armed = hostDeadlineArmed();
+    constexpr std::uint32_t kDeadlinePollInterval = 4096;
+    std::uint32_t deadline_poll = 0;
+
     while (sched_.anyIncomplete() && totalRetired() < max_instructions) {
+        if (deadline_armed && ++deadline_poll >= kDeadlinePollInterval) {
+            deadline_poll = 0;
+            if (hostDeadlineExpired()) {
+                std::ostringstream msg;
+                msg << "host item deadline (" << hostDeadlineSeconds()
+                    << "s) expired at cycle " << now_
+                    << "; simulation abandoned";
+                throw SimTimeoutError(msg.str(), machineStateDump(*this));
+            }
+        }
         if (now_ >= deadline) {
             std::cerr << machineStateDump(*this);
             DBSIM_FATAL("simulation exceeded the max_cycles safety cap (",

@@ -357,15 +357,31 @@ TEST(SweepReportJson, EmitsSchemaAndOneEntryPerResult)
     const std::string doc = os.str();
 
     EXPECT_TRUE(balancedJson(doc)) << doc;
-    EXPECT_NE(doc.find("\"schema\": \"dbsim-bench-v1\""),
+    EXPECT_NE(doc.find("\"schema\": \"dbsim-bench-v2\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"bench\": \"test_bench\""), std::string::npos);
-    EXPECT_NE(doc.find("\"label\": \"r0\""), std::string::npos);
-    EXPECT_NE(doc.find("\"label\": \"r1\""), std::string::npos);
+    // v2 result entries are compact single-line objects (so a journal
+    // line and its report entry are byte-identical).
+    EXPECT_NE(doc.find("\"label\":\"r0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"label\":\"r1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"status\":\"ok\""), std::string::npos);
     EXPECT_NE(doc.find("\"sim_instructions_per_host_second\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"mshr_occupancy\""), std::string::npos);
     EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(SweepRunner, ResolveJobsClampsAbsurdValues)
+{
+    // CLI path: anything above kMaxJobs is clamped with a warning.
+    EXPECT_EQ(SweepRunner::resolveJobs(100000), SweepRunner::kMaxJobs);
+    EXPECT_EQ(SweepRunner::resolveJobs(SweepRunner::kMaxJobs),
+              SweepRunner::kMaxJobs);
+
+    // Env path: same clamp.
+    ASSERT_EQ(setenv("DBSIM_JOBS", "999999999", 1), 0);
+    EXPECT_EQ(SweepRunner::resolveJobs(0), SweepRunner::kMaxJobs);
+    ASSERT_EQ(unsetenv("DBSIM_JOBS"), 0);
 }
 
 } // namespace

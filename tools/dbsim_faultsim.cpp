@@ -1,0 +1,374 @@
+/**
+ * @file
+ * dbsim-faultsim: deterministic fault-injection driver for the sweep
+ * fault-tolerance layer (DESIGN.md §5e).
+ *
+ * Runs self-checking scenarios against core::SweepRunner with a
+ * core::FaultPlan scheduling exactly which (item, attempt) pairs
+ * misbehave, and exits non-zero on any deviation:
+ *
+ *   1. collect:   one panicking item in a 12-item sweep yields 11 ok
+ *                 results plus one structured Invariant failure, and
+ *                 the v2 report records it;
+ *   2. retry:     a fault on attempt 1 only, under retry(2), converges
+ *                 to 12 successes whose simulated statistics are
+ *                 identical to an undisturbed run -- at 1 and 8 jobs;
+ *   3. kinds:     a thrown exception classifies as "exception"; a
+ *                 rejected configuration classifies as "config" and is
+ *                 never retried;
+ *   4. timeout:   an injected delay past the item deadline becomes a
+ *                 structured "timeout" failure carrying the machine
+ *                 state dump;
+ *   5. resume:    a journal truncated mid-write (torn final line)
+ *                 replays its completed prefix and re-runs the rest,
+ *                 reproducing the clean run's entries field-exactly.
+ *
+ * All faults are scheduled, never random: every run of this driver
+ * exercises the same code paths with the same outcomes.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "core/config.hpp"
+#include "core/fault_plan.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace dbsim;
+using namespace dbsim::core;
+
+int g_failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (ok) {
+        std::cout << "  ok: " << what << "\n";
+    } else {
+        std::cout << "  FAIL: " << what << "\n";
+        ++g_failures;
+    }
+}
+
+SimConfig
+quick(WorkloadKind kind, std::uint32_t nodes)
+{
+    SimConfig cfg = makeScaledConfig(kind, nodes);
+    cfg.total_instructions = 40000;
+    cfg.warmup_instructions = 8000;
+    return cfg;
+}
+
+/** Twelve small, uniquely-labelled configurations over both workloads. */
+std::vector<SweepItem>
+twelveItems()
+{
+    std::vector<SweepItem> items;
+    for (const auto kind : {WorkloadKind::Oltp, WorkloadKind::Dss}) {
+        for (const std::uint32_t nodes : {1u, 2u}) {
+            SimConfig base = quick(kind, nodes);
+
+            SimConfig window = base;
+            window.system.core.window_size = 32;
+
+            SimConfig width = base;
+            width.system.core.issue_width = 2;
+
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s-%un-base",
+                          workloadName(kind), nodes);
+            items.push_back({label, base});
+            std::snprintf(label, sizeof(label), "%s-%un-window32",
+                          workloadName(kind), nodes);
+            items.push_back({label, window});
+            std::snprintf(label, sizeof(label), "%s-%un-width2",
+                          workloadName(kind), nodes);
+            items.push_back({label, width});
+        }
+    }
+    return items;
+}
+
+/** Zero the two host-timing fields of a rendered entry so runs can be
+ *  compared field-exactly (everything else is deterministic). */
+std::string
+normalizeEntry(std::string line)
+{
+    for (const char *key :
+         {"\"wall_seconds\":", "\"sim_instructions_per_host_second\":"}) {
+        const std::size_t at = line.find(key);
+        if (at == std::string::npos)
+            continue;
+        std::size_t from = at + std::string(key).size();
+        std::size_t to = from;
+        while (to < line.size() && line[to] != ',' && line[to] != '}')
+            ++to;
+        line.replace(from, to - from, "0");
+    }
+    return line;
+}
+
+std::vector<std::string>
+normalizedEntries(const std::string &section, const SweepOutcome &outcome)
+{
+    std::vector<std::string> lines;
+    for (const SweepItemOutcome &o : outcome.items)
+        lines.push_back(normalizeEntry(renderSweepEntryJson(section, o)));
+    return lines;
+}
+
+// ---------------------------------------------------------------------
+
+void
+scenarioCollect()
+{
+    std::cout << "[1] collect: panic in item 5 of 12\n";
+    const auto items = twelveItems();
+    FaultPlan plan;
+    plan.failAttempts(5, 1, FaultSpec::Kind::Panic, "scheduled panic");
+
+    SweepRunner runner(4);
+    runner.setFailurePolicy(FailurePolicy::collect());
+    runner.setFaultPlan(&plan);
+    const SweepOutcome out = runner.runChecked(items);
+
+    check(out.items.size() == 12, "12 outcomes recorded");
+    check(out.failures() == 1, "exactly one failure");
+    std::size_t ok = 0;
+    for (const auto &o : out.items)
+        ok += o.ok() ? 1 : 0;
+    check(ok == 11, "eleven items succeeded");
+    const SweepItemOutcome &failed = out.items[5];
+    check(!failed.ok() && failed.failure.index == 5,
+          "failure recorded at index 5");
+    check(failed.failure.kind == FailureKind::Invariant,
+          "panic classified as invariant");
+    check(failed.failure.what.find("scheduled panic") != std::string::npos,
+          "failure message carries the panic text");
+    check(failed.failure.attempts == 1, "collect does not retry");
+
+    SweepReport report;
+    report.bench = "faultsim";
+    report.add("collect", out);
+    check(report.failures() == 1, "report counts the failure");
+    const std::string entry =
+        renderSweepEntryJson("collect", out.items[5]);
+    check(entry.find("\"status\":\"failed\"") != std::string::npos &&
+              entry.find("\"kind\":\"invariant\"") != std::string::npos,
+          "failed entry renders status + kind");
+}
+
+void
+scenarioRetryDeterminism()
+{
+    std::cout << "[2] retry: attempt-1 fault converges bitwise\n";
+    const auto items = twelveItems();
+
+    SweepRunner clean(1);
+    clean.setFailurePolicy(FailurePolicy::collect());
+    const auto baseline =
+        normalizedEntries("retry", clean.runChecked(items));
+
+    FaultPlan plan;
+    plan.failAttempts(3, 1, FaultSpec::Kind::Panic, "first-try panic");
+    plan.failAttempts(9, 1, FaultSpec::Kind::Throw, "first-try throw");
+
+    for (const unsigned jobs : {1u, 8u}) {
+        SweepRunner runner(jobs);
+        runner.setFailurePolicy(FailurePolicy::retry(2));
+        runner.setFaultPlan(&plan);
+        const SweepOutcome out = runner.runChecked(items);
+
+        check(out.allOk(),
+              "all 12 items succeed (jobs=" + std::to_string(jobs) + ")");
+        check(out.items[3].attempts == 2 && out.items[9].attempts == 2,
+              "faulted items consumed 2 attempts (jobs=" +
+                  std::to_string(jobs) + ")");
+        const auto got = normalizedEntries("retry", out);
+        bool identical = got.size() == baseline.size();
+        for (std::size_t i = 0; identical && i < got.size(); ++i) {
+            // attempts differ for the faulted items by design; mask it.
+            std::string a = baseline[i], b = got[i];
+            const std::string key = "\"attempts\":";
+            const auto strip = [&](std::string &s) {
+                const std::size_t at = s.find(key);
+                if (at == std::string::npos)
+                    return;
+                std::size_t to = at + key.size();
+                while (to < s.size() && s[to] != ',')
+                    ++to;
+                s.erase(at, to - at + 1);
+            };
+            strip(a);
+            strip(b);
+            identical = a == b;
+            if (!identical)
+                std::cout << "    mismatch[" << i << "]:\n    " << a
+                          << "\n    " << b << "\n";
+        }
+        check(identical,
+              "retried results identical to undisturbed run (jobs=" +
+                  std::to_string(jobs) + ")");
+    }
+}
+
+void
+scenarioKinds()
+{
+    std::cout << "[3] kinds: exception + config classification\n";
+    std::vector<SweepItem> items;
+    for (int i = 0; i < 4; ++i) {
+        char label[16];
+        std::snprintf(label, sizeof(label), "k%d", i);
+        items.push_back({label, quick(WorkloadKind::Oltp, 1)});
+    }
+    items[2].cfg.total_instructions = 0; // rejected by validation
+
+    FaultPlan plan;
+    plan.failAttempts(0, 3, FaultSpec::Kind::Throw, "always throws");
+
+    SweepRunner runner(2);
+    runner.setFailurePolicy(FailurePolicy::retry(3));
+    runner.setFaultPlan(&plan);
+    const SweepOutcome out = runner.runChecked(items);
+
+    check(out.failures() == 2, "two failures recorded");
+    check(!out.items[0].ok() &&
+              out.items[0].failure.kind == FailureKind::Exception,
+          "persistent throw classified as exception");
+    check(out.items[0].attempts == 3, "throw consumed all 3 attempts");
+    check(!out.items[2].ok() &&
+              out.items[2].failure.kind == FailureKind::Config,
+          "rejected configuration classified as config");
+    check(out.items[2].attempts == 1,
+          "config rejection is deterministic: never retried");
+    check(out.items[1].ok() && out.items[3].ok(),
+          "healthy items unaffected");
+}
+
+void
+scenarioTimeout()
+{
+    std::cout << "[4] timeout: delayed item trips the host deadline\n";
+    std::vector<SweepItem> items = {
+        {"fast", quick(WorkloadKind::Oltp, 1)},
+        {"slow", quick(WorkloadKind::Oltp, 1)},
+    };
+    FaultPlan plan;
+    FaultSpec delay;
+    delay.index = 1;
+    delay.attempt = 1;
+    delay.kind = FaultSpec::Kind::Delay;
+    delay.delay_seconds = 0.5;
+    plan.add(delay);
+
+    SweepRunner runner(2);
+    runner.setFailurePolicy(FailurePolicy::collect());
+    runner.setItemTimeout(0.2);
+    runner.setFaultPlan(&plan);
+    const SweepOutcome out = runner.runChecked(items);
+
+    check(out.items[0].ok(), "undelayed item finishes normally");
+    check(!out.items[1].ok() &&
+              out.items[1].failure.kind == FailureKind::Timeout,
+          "delayed item classified as timeout");
+    check(out.items[1].failure.what.find("deadline") != std::string::npos,
+          "timeout message names the deadline");
+    check(!out.items[1].failure.crash_dump_excerpt.empty(),
+          "timeout failure carries the machine-state dump");
+}
+
+void
+scenarioResume()
+{
+    std::cout << "[5] resume: torn journal replays + re-runs field-exact\n";
+    const std::string clean_path = "FAULTSIM_clean.journal.jsonl";
+    const std::string torn_path = "FAULTSIM_torn.journal.jsonl";
+    const auto items = twelveItems();
+
+    // Clean reference run, journaled.
+    SweepRunner runner(4);
+    runner.setFailurePolicy(FailurePolicy::collect());
+    SweepJournal journal;
+    check(journal.open(clean_path, /*append=*/false), "journal opens");
+    runner.setCompletionCallback([&](const SweepItemOutcome &o) {
+        journal.append("resume", o);
+    });
+    const SweepOutcome clean = runner.runChecked(items);
+    journal.close();
+    runner.setCompletionCallback({});
+    check(clean.allOk(), "clean run succeeds");
+    const auto clean_entries = normalizedEntries("resume", clean);
+
+    // Simulate a mid-write kill: keep 7 complete lines plus a torn one.
+    {
+        std::ifstream in(clean_path);
+        std::ofstream out_file(torn_path, std::ios::trunc);
+        std::string line;
+        for (int i = 0; i < 7 && std::getline(in, line); ++i)
+            out_file << line << "\n";
+        out_file << "{\"section\":\"resume\",\"label\":\"oltp-2n-w";
+    }
+
+    const auto entries = SweepJournal::load(torn_path);
+    check(entries.size() == 7, "torn final line skipped on load");
+
+    const ResumePlan resume_plan = planResume("resume", items, entries);
+    check(resume_plan.replayedCount() == 7, "seven items replayed");
+    check(resume_plan.to_run.size() == 5, "five items re-run");
+
+    const SweepOutcome rerun =
+        runner.runChecked([&] {
+            std::vector<SweepItem> subset;
+            for (const std::size_t i : resume_plan.to_run)
+                subset.push_back(items[i]);
+            return subset;
+        }(), resume_plan.to_run);
+    check(rerun.allOk(), "re-run subset succeeds");
+
+    // Assemble the resumed view in input order and compare field-exact.
+    bool identical = true;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        std::string got;
+        if (!resume_plan.replayed[i].empty())
+            got = normalizeEntry(resume_plan.replayed[i]);
+        else
+            got = normalizeEntry(
+                renderSweepEntryJson("resume", rerun.items[next++]));
+        if (got != clean_entries[i]) {
+            identical = false;
+            std::cout << "    mismatch[" << i << "]:\n    "
+                      << clean_entries[i] << "\n    " << got << "\n";
+        }
+    }
+    check(identical, "resumed entries identical to the clean run");
+
+    std::remove(clean_path.c_str());
+    std::remove(torn_path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    scenarioCollect();
+    scenarioRetryDeterminism();
+    scenarioKinds();
+    scenarioTimeout();
+    scenarioResume();
+
+    if (g_failures != 0) {
+        std::cout << "dbsim-faultsim: " << g_failures << " FAILURE(S)\n";
+        return 1;
+    }
+    std::cout << "dbsim-faultsim: all scenarios passed\n";
+    return 0;
+}

@@ -12,7 +12,13 @@ Enforced over every C++ file under src/:
      buffer is formatting, not output, and stays allowed);
   3. header include guards exist and are named DBSIM_<PATH>_<FILE>_HPP,
      derived from the path under src/ (e.g. src/verify/litmus.hpp
-     guards DBSIM_VERIFY_LITMUS_HPP).
+     guards DBSIM_VERIFY_LITMUS_HPP);
+  4. no swallowing catch (...): a bare catch-all must rethrow, capture
+     the exception (std::current_exception), or turn it into a
+     structured SweepFailure -- silently eating errors hides faults the
+     sweep isolation layer is designed to surface.  A deliberate
+     swallow is annotated with a `lint: allowed-swallow` comment inside
+     the block.
 
 Exit status 0 when clean, 1 with one "file:line: message" per finding
 otherwise.  Run from anywhere: paths resolve relative to the repo root
@@ -33,6 +39,49 @@ STDOUT_USE = re.compile(
 )
 GUARD_IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
 GUARD_DEFINE = re.compile(r"^\s*#\s*define\s+(\S+)")
+CATCH_ALL = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+CATCH_HANDLED = re.compile(r"(?<![\w_])throw(?![\w_])|SweepFailure"
+                           r"|std::current_exception")
+ALLOWED_SWALLOW = "lint: allowed-swallow"
+
+
+def catch_all_findings(rel, text: str, code: str) -> list[str]:
+    """Rule 4: every `catch (...)` block must rethrow, capture, or
+    build a SweepFailure -- or carry a `lint: allowed-swallow` comment
+    (checked against the raw text, since comments are stripped from
+    `code`)."""
+    findings = []
+    for m in CATCH_ALL.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        open_brace = code.find("{", m.end())
+        if open_brace < 0:
+            continue
+        depth, j = 0, open_brace
+        while j < len(code):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        block = code[open_brace : j + 1]
+        if CATCH_HANDLED.search(block):
+            continue
+        # Comment annotations are stripped from `code`; re-check the
+        # raw text over the block's line range (line structure is
+        # preserved by the stripper, character offsets are not).
+        end_line = code.count("\n", 0, j) + 1
+        raw_lines = text.splitlines()[lineno - 1 : end_line]
+        if any(ALLOWED_SWALLOW in ln for ln in raw_lines):
+            continue
+        findings.append(
+            f"{rel}:{lineno}: catch (...) swallows the exception; "
+            "rethrow, capture it, or record a SweepFailure "
+            "(annotate deliberate swallows with "
+            f"'{ALLOWED_SWALLOW}')"
+        )
+    return findings
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -72,6 +121,8 @@ def lint_file(path: Path) -> list[str]:
     rel = path.relative_to(REPO_ROOT)
     text = path.read_text(encoding="utf-8")
     code = strip_comments_and_strings(text)
+
+    findings.extend(catch_all_findings(rel, text, code))
 
     for lineno, line in enumerate(code.splitlines(), start=1):
         if RAW_ASSERT.search(line):
