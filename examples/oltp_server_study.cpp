@@ -41,7 +41,7 @@ runAndReport(core::SimConfig cfg, const std::string &label)
                 label.c_str(), r.ipc,
                 100.0 * r.breakdown.cpu() / r.breakdown.total(),
                 100.0 * r.breakdown.read() / r.breakdown.total(),
-                100.0 * r.breakdown[sim::StallCat::Sync] /
+                100.0 * r.breakdown[StallCat::Sync] /
                     r.breakdown.total(),
                 100.0 * r.breakdown.instr() / r.breakdown.total(),
                 100.0 * c.l1d_miss_rate,

@@ -95,11 +95,13 @@ class CoherenceChecker
     /** Violation descriptions (collecting mode; capped at kMaxRecorded). */
     const std::vector<std::string> &violations() const { return violations_; }
 
-    /** The distinct blocks that have had violations (uncapped). */
-    const std::unordered_set<Addr> &violatingBlocks() const
-    {
-        return violating_blocks_;
-    }
+    /**
+     * The distinct blocks that have had violations (uncapped), in
+     * ascending address order.  The tracking set is unordered; sorting
+     * here keeps every diagnostic path that renders the block list
+     * bitwise-deterministic (DESIGN.md §5c).
+     */
+    std::vector<Addr> violatingBlocks() const;
 
     static constexpr std::size_t kMaxRecorded = 32;
 

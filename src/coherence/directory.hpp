@@ -23,7 +23,7 @@
 #include "common/types.hpp"
 #include "interconnect/network.hpp"
 #include "memory/cache.hpp"
-#include "verify/mutator.hpp"
+#include "common/mutator.hpp"
 
 namespace dbsim::coher {
 

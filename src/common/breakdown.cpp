@@ -1,9 +1,9 @@
-#include "sim/breakdown.hpp"
+#include "common/breakdown.hpp"
 
 #include <cstdio>
 #include <sstream>
 
-namespace dbsim::sim {
+namespace dbsim {
 
 const char *
 stallCatName(StallCat c)
@@ -67,4 +67,4 @@ Breakdown::toString() const
     return os.str();
 }
 
-} // namespace dbsim::sim
+} // namespace dbsim

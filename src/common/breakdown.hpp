@@ -10,8 +10,8 @@
  * dTLB components for the magnified read-stall graphs.
  */
 
-#ifndef DBSIM_SIM_BREAKDOWN_HPP
-#define DBSIM_SIM_BREAKDOWN_HPP
+#ifndef DBSIM_COMMON_BREAKDOWN_HPP
+#define DBSIM_COMMON_BREAKDOWN_HPP
 
 #include <array>
 #include <cstdint>
@@ -19,7 +19,7 @@
 
 #include "common/types.hpp"
 
-namespace dbsim::sim {
+namespace dbsim {
 
 /** Stall/busy categories of the execution-time breakdown. */
 enum class StallCat : std::uint8_t {
@@ -77,6 +77,6 @@ struct Breakdown
     std::string toString() const;
 };
 
-} // namespace dbsim::sim
+} // namespace dbsim
 
-#endif // DBSIM_SIM_BREAKDOWN_HPP
+#endif // DBSIM_COMMON_BREAKDOWN_HPP

@@ -12,15 +12,20 @@
  * (a checker that flags nothing is indistinguishable from a checker
  * that checks nothing).
  *
- * This header is a dependency leaf (nothing but <cstdint>) so that both
- * the protocol layers below verify/ and the verification layer itself
- * can include it without cycles.  Mutators are never attached outside
+ * This header is a dependency leaf (nothing but <cstdint>).  It lives in
+ * common/ -- the bottom of the include-layer order -- so that both the
+ * protocol layers below verify/ and the verification layer itself can
+ * include it without creating an upward include or a directory cycle
+ * (enforced by dbsim-analyze rule layering-order).  The types keep the
+ * dbsim::verify namespace: the mutation catalog is verification-layer
+ * vocabulary; only its home on disk is dictated by layering.  Mutators
+ * are never attached outside
  * tests and the dbsim-mc driver; the hooks are nullptr-guarded and cost
  * one pointer test on paths that are already protocol transactions.
  */
 
-#ifndef DBSIM_VERIFY_MUTATOR_HPP
-#define DBSIM_VERIFY_MUTATOR_HPP
+#ifndef DBSIM_COMMON_MUTATOR_HPP
+#define DBSIM_COMMON_MUTATOR_HPP
 
 #include <cstdint>
 
@@ -96,4 +101,4 @@ protocolBugName(ProtocolBug b)
 
 } // namespace dbsim::verify
 
-#endif // DBSIM_VERIFY_MUTATOR_HPP
+#endif // DBSIM_COMMON_MUTATOR_HPP

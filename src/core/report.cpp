@@ -6,7 +6,6 @@
 
 namespace dbsim::core {
 
-using sim::StallCat;
 
 namespace {
 

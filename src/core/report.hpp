@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
-#include "sim/breakdown.hpp"
+#include "common/breakdown.hpp"
 
 namespace dbsim::core {
 
@@ -22,7 +22,7 @@ namespace dbsim::core {
 struct BreakdownRow
 {
     std::string label;
-    sim::Breakdown breakdown;       ///< component cycles of the window
+    Breakdown breakdown;       ///< component cycles of the window
     std::uint64_t instructions = 0; ///< retired in the window
 };
 

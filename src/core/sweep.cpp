@@ -14,7 +14,7 @@
 #include "common/errors.hpp"
 #include "common/log.hpp"
 #include "core/json_writer.hpp"
-#include "sim/breakdown.hpp"
+#include "common/breakdown.hpp"
 #include "sim/diagnostics.hpp"
 
 namespace dbsim::core {
@@ -176,6 +176,8 @@ SweepRunner::runOne(const SweepItem &item, std::size_t index,
                 DBSIM_PANIC("injected fault: ", f->message);
                 break;
               case FaultSpec::Kind::Delay:
+                // dbsim-analyze: allow(determinism-wallclock) -- a
+                // test-only injected host delay (exercises timeouts).
                 std::this_thread::sleep_for(
                     std::chrono::duration<double>(f->delay_seconds));
                 break;
@@ -195,9 +197,14 @@ SweepRunner::runOne(const SweepItem &item, std::size_t index,
     if (out.label.empty())
         out.label = out.config;
 
+    // Annotated host-timing code: wall_seconds / sim_ips report *host*
+    // throughput and are excluded from determinism comparisons
+    // (tools/compare_reports.py ignores exactly these fields).
+    // dbsim-analyze: allow(determinism-wallclock)
     const auto t0 = std::chrono::steady_clock::now();
     Simulation simulation(out.cfg);
     out.run = simulation.run();
+    // dbsim-analyze: allow(determinism-wallclock)
     const auto t1 = std::chrono::steady_clock::now();
 
     out.ch = simulation.characterize();
@@ -208,6 +215,9 @@ SweepRunner::runOne(const SweepItem &item, std::size_t index,
     out.l2_occ = n0.l2MshrStats().occupancy;
     out.l2_read_occ = n0.l2MshrStats().read_occupancy;
     out.fabric = simulation.system().fabric().stats();
+    for (std::uint32_t i = 0; i < simulation.system().numNodes(); ++i)
+        out.context_switches +=
+            simulation.system().core(i).stats().context_switches;
 
     const auto &mig = simulation.system().fabric().migratory();
     const auto &ms = mig.stats();
@@ -460,11 +470,12 @@ writeResultBody(JsonWriter &w, const SweepResult &r)
     w.kv("ipc", r.run.ipc);
     w.kv("wall_seconds", r.wall_seconds);
     w.kv("sim_instructions_per_host_second", r.sim_ips);
+    w.kv("context_switches", r.context_switches);
 
     w.key("breakdown").beginObject();
-    for (std::size_t i = 0; i < sim::kNumStallCats; ++i) {
-        const auto cat = static_cast<sim::StallCat>(i);
-        w.kv(sim::stallCatName(cat), r.run.breakdown[cat]);
+    for (std::size_t i = 0; i < kNumStallCats; ++i) {
+        const auto cat = static_cast<StallCat>(i);
+        w.kv(stallCatName(cat), r.run.breakdown[cat]);
     }
     w.endObject();
 
@@ -483,9 +494,15 @@ writeResultBody(JsonWriter &w, const SweepResult &r)
     w.kv("dirty_misses", r.ch.dirty_misses);
     w.kv("invalidations", r.fabric.invalidations_sent);
     w.kv("writebacks", r.fabric.writebacks);
+    w.kv("migratory_handoffs", r.fabric.migratory_handoffs);
     w.kv("migratory_write_fraction", r.migratory.write_fraction);
     w.kv("migratory_dirty_read_fraction",
          r.migratory.dirty_read_fraction);
+    w.endObject();
+
+    w.key("memory_system").beginObject();
+    w.kv("l2_delayed_hits", r.node0.l2_delayed_hits);
+    w.kv("prefetches_dropped", r.node0.prefetches_dropped);
     w.endObject();
 
     w.key("mshr_occupancy").beginObject();

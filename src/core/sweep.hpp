@@ -88,6 +88,7 @@ struct SweepResult
     Characterization ch;
     sim::NodeStats node0;  ///< node-0 cache/stream-buffer counters
     coher::FabricStats fabric;
+    std::uint64_t context_switches = 0; ///< summed over all cores
     stats::OccupancyTracker l1d_occ{64};
     stats::OccupancyTracker l1d_read_occ{64};
     stats::OccupancyTracker l2_occ{64};

@@ -136,54 +136,54 @@ Core::memOpsInFlight() const
     return n;
 }
 
-sim::StallCat
+StallCat
 Core::readCat(const WindowEntry &e) const
 {
     if (e.dtlb_miss && e.mem_issued)
-        return sim::StallCat::ReadDtlb;
+        return StallCat::ReadDtlb;
     if (!e.mem_issued)
-        return sim::StallCat::ReadL1; // agen / dependence / port ("misc")
+        return StallCat::ReadL1; // agen / dependence / port ("misc")
     switch (e.cls) {
-      case coher::AccessClass::L1Hit:      return sim::StallCat::ReadL1;
-      case coher::AccessClass::L2Hit:      return sim::StallCat::ReadL2;
-      case coher::AccessClass::LocalMem:   return sim::StallCat::ReadLocal;
-      case coher::AccessClass::RemoteMem:  return sim::StallCat::ReadRemote;
-      case coher::AccessClass::RemoteDirty:return sim::StallCat::ReadDirty;
+      case coher::AccessClass::L1Hit:      return StallCat::ReadL1;
+      case coher::AccessClass::L2Hit:      return StallCat::ReadL2;
+      case coher::AccessClass::LocalMem:   return StallCat::ReadLocal;
+      case coher::AccessClass::RemoteMem:  return StallCat::ReadRemote;
+      case coher::AccessClass::RemoteDirty:return StallCat::ReadDirty;
     }
-    return sim::StallCat::ReadL1;
+    return StallCat::ReadL1;
 }
 
-sim::StallCat
+StallCat
 Core::classifyHead() const
 {
     if (!proc_)
-        return sim::StallCat::Idle;
+        return StallCat::Idle;
     if (window_.empty()) {
         if (syscall_fetch_block_ || proc_->state != ProcState::Running)
-            return sim::StallCat::Idle;
+            return StallCat::Idle;
         if (fetch_pending_line_ != kNoAddr &&
             fetch_line_ != fetch_pending_line_) {
-            return fetch_itlb_miss_ ? sim::StallCat::Itlb
-                                    : sim::StallCat::Instr;
+            return fetch_itlb_miss_ ? StallCat::Itlb
+                                    : StallCat::Instr;
         }
         if (proc_->exhausted())
-            return sim::StallCat::Idle;
+            return StallCat::Idle;
         // Fetch bubble: misprediction restart or transient.
-        return sim::StallCat::Fu;
+        return StallCat::Fu;
     }
     const WindowEntry &e = window_.front();
     switch (e.rec.op) {
       case OpClass::Load:
         return readCat(e);
       case OpClass::Store:
-        return sim::StallCat::Write;
+        return StallCat::Write;
       case OpClass::LockAcquire:
       case OpClass::LockRelease:
       case OpClass::MemBarrier:
       case OpClass::WriteBarrier:
-        return sim::StallCat::Sync;
+        return StallCat::Sync;
       default:
-        return sim::StallCat::Fu;
+        return StallCat::Fu;
     }
 }
 
@@ -290,11 +290,11 @@ Core::retireStage(Cycles now)
 
     const double busy =
         static_cast<double>(retired) / params_.issue_width;
-    breakdown_.add(sim::StallCat::Busy, busy);
+    breakdown_.add(StallCat::Busy, busy);
     if (retired < params_.issue_width) {
-        sim::StallCat cat;
+        StallCat cat;
         if (proc_ && now < run_resume_at_)
-            cat = sim::StallCat::Idle; // context-switch overhead
+            cat = StallCat::Idle; // context-switch overhead
         else
             cat = classifyHead();
         breakdown_.add(cat, 1.0 - busy);
@@ -805,9 +805,9 @@ Core::accountStall(Cycles from, Cycles to)
     if (to <= from)
         return;
     const double dt = static_cast<double>(to - from);
-    sim::StallCat cat;
+    StallCat cat;
     if (proc_ && from < run_resume_at_)
-        cat = sim::StallCat::Idle;
+        cat = StallCat::Idle;
     else
         cat = classifyHead();
     breakdown_.add(cat, dt);

@@ -33,9 +33,9 @@
 #include "cpu/func_units.hpp"
 #include "cpu/interfaces.hpp"
 #include "cpu/process.hpp"
-#include "sim/breakdown.hpp"
+#include "common/breakdown.hpp"
 #include "trace/record.hpp"
-#include "verify/mutator.hpp"
+#include "common/mutator.hpp"
 
 namespace dbsim::cpu {
 
@@ -132,7 +132,7 @@ class Core
     void onLineInvalidated(Addr pblock);
 
     /** Current head-of-window stall classification (for diagnostics). */
-    sim::StallCat headCat() const { return classifyHead(); }
+    StallCat headCat() const { return classifyHead(); }
 
     /** One-line pipeline state dump (for diagnostics). */
     std::string debugString() const;
@@ -140,7 +140,7 @@ class Core
     /** True when the window and write buffer have fully drained. */
     bool drained() const { return window_.empty() && wb_.empty(); }
 
-    const sim::Breakdown &breakdown() const { return breakdown_; }
+    const Breakdown &breakdown() const { return breakdown_; }
     const CoreStats &stats() const { return stats_; }
     const BranchPredStats &branchStats() const { return bpred_.stats(); }
     const FuncUnitPool &funcUnits() const { return fu_; }
@@ -205,8 +205,8 @@ class Core
                          bool stores_done, bool fence_before);
     void attemptLockAcquire(WindowEntry &e, Cycles now);
     void rollbackFrom(std::size_t idx, Cycles now);
-    sim::StallCat classifyHead() const;
-    sim::StallCat readCat(const WindowEntry &e) const;
+    StallCat classifyHead() const;
+    StallCat readCat(const WindowEntry &e) const;
     bool wbAllPerformed() const;
     std::uint32_t minUnperformedEpoch() const;
     const WindowEntry *entryFor(std::uint64_t seq) const;
@@ -246,7 +246,7 @@ class Core
     std::deque<WbEntry> wb_;
     std::uint32_t wmb_epoch_ = 0;
 
-    sim::Breakdown breakdown_;
+    Breakdown breakdown_;
     CoreStats stats_;
 };
 

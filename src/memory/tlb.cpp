@@ -31,9 +31,12 @@ Tlb::access(Addr vaddr)
 
     ++stats_.misses;
     if (map_.size() >= entries_) {
-        // Evict true-LRU entry.
+        // Evict true-LRU entry.  Use stamps are unique, so the minimum
+        // (the victim) is the same whatever order the scan visits.
+        // dbsim-analyze: allow(determinism-unordered-iteration)
         auto victim = map_.begin();
         std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+        // dbsim-analyze: allow(determinism-unordered-iteration)
         for (auto jt = map_.begin(); jt != map_.end(); ++jt) {
             if (jt->second < oldest) {
                 oldest = jt->second;

@@ -13,12 +13,19 @@ namespace dbsim::sim {
 
 namespace {
 
+// Annotated host-timing code: the sweep deadline layer measures the
+// *host* wall clock by design and never feeds simulated state or
+// reported statistics (a timeout becomes a structured SweepFailure).
+// Every wall-clock read below goes through this one sanctioned alias.
+// dbsim-analyze: allow(determinism-wallclock)
+using HostClock = std::chrono::steady_clock;
+
 // Per-thread deadline state: each sweep worker arms its own item's
 // deadline, so concurrently running simulations cannot time each other
 // out.
 thread_local bool t_deadline_armed = false;
 thread_local double t_deadline_seconds = 0.0;
-thread_local std::chrono::steady_clock::time_point t_deadline{};
+thread_local HostClock::time_point t_deadline{};
 
 } // namespace
 
@@ -31,9 +38,8 @@ setHostDeadline(double seconds)
     }
     t_deadline_armed = true;
     t_deadline_seconds = seconds;
-    t_deadline = std::chrono::steady_clock::now() +
-                 std::chrono::duration_cast<
-                     std::chrono::steady_clock::duration>(
+    t_deadline = HostClock::now() +
+                 std::chrono::duration_cast<HostClock::duration>(
                      std::chrono::duration<double>(seconds));
 }
 
@@ -53,8 +59,7 @@ hostDeadlineArmed()
 bool
 hostDeadlineExpired()
 {
-    return t_deadline_armed &&
-           std::chrono::steady_clock::now() >= t_deadline;
+    return t_deadline_armed && HostClock::now() >= t_deadline;
 }
 
 double
@@ -141,6 +146,40 @@ machineStateDump(const System &sys)
        << fabric.stats().dirtyMisses() << " dirty), "
        << fabric.stats().invalidations_sent << " invalidations, "
        << fabric.stats().writebacks << " writebacks\n";
+
+    // Lock table and checker state are rendered from sorted snapshots:
+    // both live in unordered containers, and a crash dump must be
+    // bitwise-identical across runs (DESIGN.md §5c).
+    const auto locks = sys.heldLocks();
+    os << "  locks: " << locks.size() << " held";
+    constexpr std::size_t kMaxLocksShown = 16;
+    for (std::size_t i = 0; i < locks.size() && i < kMaxLocksShown; ++i) {
+        os << (i == 0 ? " (" : " ") << "0x" << std::hex << locks[i].first
+           << std::dec << ":p" << locks[i].second;
+    }
+    if (!locks.empty()) {
+        if (locks.size() > kMaxLocksShown)
+            os << " ... +" << locks.size() - kMaxLocksShown << " more";
+        os << ")";
+    }
+    os << "\n";
+    if (const coher::CoherenceChecker *chk = sys.checker()) {
+        os << "  checker: " << chk->stats().audits << " audits, "
+           << chk->stats().violations << " violations";
+        const auto blocks = chk->violatingBlocks();
+        constexpr std::size_t kMaxBlocksShown = 16;
+        for (std::size_t i = 0;
+             i < blocks.size() && i < kMaxBlocksShown; ++i) {
+            os << (i == 0 ? " (blocks: " : " ") << "0x" << std::hex
+               << blocks[i] << std::dec;
+        }
+        if (!blocks.empty()) {
+            if (blocks.size() > kMaxBlocksShown)
+                os << " ... +" << blocks.size() - kMaxBlocksShown << " more";
+            os << ")";
+        }
+        os << "\n";
+    }
     return os.str();
 }
 

@@ -20,7 +20,7 @@
 #include "cpu/ooo_core.hpp"
 #include "cpu/process.hpp"
 #include "memory/page_map.hpp"
-#include "sim/breakdown.hpp"
+#include "common/breakdown.hpp"
 #include "sim/node.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/source.hpp"
@@ -113,6 +113,14 @@ class System : public cpu::CoreEnvIf
 
     /** The coherence invariant checker, if enabled (else nullptr). */
     const coher::CoherenceChecker *checker() const { return checker_.get(); }
+
+    /**
+     * Snapshot of the simulated-environment lock table, sorted by lock
+     * address.  The table itself is an unordered map; diagnostics
+     * (machineStateDump) render this sorted view so crash dumps stay
+     * bitwise-deterministic (DESIGN.md §5c).
+     */
+    std::vector<std::pair<Addr, ProcId>> heldLocks() const;
 
     /** Total instructions retired since construction (incl. warmup). */
     std::uint64_t totalRetired() const;

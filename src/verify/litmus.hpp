@@ -34,7 +34,7 @@
 #include <vector>
 
 #include "cpu/consistency.hpp"
-#include "verify/mutator.hpp"
+#include "common/mutator.hpp"
 
 namespace dbsim::verify {
 

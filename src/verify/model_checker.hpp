@@ -51,7 +51,7 @@
 #include <vector>
 
 #include "coherence/directory.hpp"
-#include "verify/mutator.hpp"
+#include "common/mutator.hpp"
 
 namespace dbsim::verify {
 

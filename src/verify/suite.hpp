@@ -17,7 +17,7 @@
 
 #include "verify/litmus.hpp"
 #include "verify/model_checker.hpp"
-#include "verify/mutator.hpp"
+#include "common/mutator.hpp"
 
 namespace dbsim::verify {
 

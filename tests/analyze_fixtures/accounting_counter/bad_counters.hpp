@@ -1,0 +1,13 @@
+// Seeded violations: `misses` is updated but never read; `skips` is
+// declared but never updated.  `hits` is the clean twin (fully wired).
+#ifndef DBSIM_BAD_COUNTERS_HPP
+#define DBSIM_BAD_COUNTERS_HPP
+
+struct ProbeStats
+{
+    unsigned long long hits = 0;
+    unsigned long long misses = 0;
+    unsigned long long skips = 0;
+};
+
+#endif // DBSIM_BAD_COUNTERS_HPP

@@ -1,0 +1,14 @@
+#include "bad_counters.hpp"
+
+void
+touch(ProbeStats &s)
+{
+    ++s.hits;
+    ++s.misses;
+}
+
+unsigned long long
+readBack(const ProbeStats &s)
+{
+    return s.hits;
+}

@@ -1,0 +1,6 @@
+#ifndef DBSIM_CAT_HPP
+#define DBSIM_CAT_HPP
+
+enum class Cat { Read, Write, Upgrade, kCount };
+
+#endif // DBSIM_CAT_HPP

@@ -1,0 +1,16 @@
+// Clean twin: every enumerator handled (kCount is a sizing sentinel).
+#include "cat.hpp"
+
+int
+latencyOf(Cat c)
+{
+    switch (c) {
+      case Cat::Read:
+        return 10;
+      case Cat::Write:
+        return 20;
+      case Cat::Upgrade:
+        return 30;
+    }
+    return 0;
+}

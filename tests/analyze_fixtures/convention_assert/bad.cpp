@@ -1,0 +1,8 @@
+// Seeded violation: raw assert() compiles out under NDEBUG.
+#include <cassert>
+
+void
+check(int x)
+{
+    assert(x > 0);
+}

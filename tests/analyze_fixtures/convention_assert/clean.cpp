@@ -1,0 +1,9 @@
+// Clean twin: a project-style always-on check macro.
+void fail(const char *msg);
+
+void
+checkHard(int x)
+{
+    if (x <= 0)
+        fail("x must be positive");
+}

@@ -1,0 +1,13 @@
+// Seeded violation: catch (...) that swallows the exception.
+void risky();
+
+int
+shield()
+{
+    try {
+        risky();
+    } catch (...) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,13 @@
+// Clean twin: the exception is rethrown.
+void risky();
+
+int
+passthrough()
+{
+    try {
+        risky();
+    } catch (...) {
+        throw;
+    }
+    return 0;
+}

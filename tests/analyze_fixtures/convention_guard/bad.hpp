@@ -1,0 +1,11 @@
+// Seeded violation: guard does not spell DBSIM_BAD_HPP.
+#ifndef WRONG_GUARD
+#define WRONG_GUARD
+
+inline int
+answer()
+{
+    return 42;
+}
+
+#endif // WRONG_GUARD

@@ -1,0 +1,10 @@
+#ifndef DBSIM_CLEAN_HPP
+#define DBSIM_CLEAN_HPP
+
+inline int
+question()
+{
+    return 6 * 9;
+}
+
+#endif // DBSIM_CLEAN_HPP

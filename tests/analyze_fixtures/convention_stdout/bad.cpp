@@ -1,0 +1,8 @@
+// Seeded violation: stdout belongs to machine-readable reports.
+#include <iostream>
+
+void
+hello()
+{
+    std::cout << "hi\n";
+}

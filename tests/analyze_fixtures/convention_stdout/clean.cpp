@@ -1,0 +1,8 @@
+// Clean twin: diagnostics go to stderr.
+#include <iostream>
+
+void
+warn()
+{
+    std::cerr << "careful\n";
+}

@@ -1,0 +1,8 @@
+// Seeded violation: formatting a pointer value into output.
+#include <cstdio>
+
+void
+describe(char *buf, unsigned long n, const void *p)
+{
+    std::snprintf(buf, n, "%p", p);
+}

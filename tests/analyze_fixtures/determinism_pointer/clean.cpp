@@ -1,0 +1,8 @@
+// Clean twin: formats a stable value, not an address.
+#include <cstdio>
+
+void
+describeValue(char *buf, unsigned long n, unsigned long long v)
+{
+    std::snprintf(buf, n, "%llx", v);
+}

@@ -1,0 +1,8 @@
+// Seeded violation: C library rand() instead of the seeded dbsim RNG.
+#include <cstdlib>
+
+int
+noise()
+{
+    return std::rand();
+}

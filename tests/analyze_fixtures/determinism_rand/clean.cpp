@@ -1,0 +1,6 @@
+// Clean twin: a seeded, replayable mixer.
+unsigned
+mix(unsigned state)
+{
+    return state * 1664525u + 1013904223u;
+}

@@ -1,0 +1,12 @@
+// Clean twin: ordered container, same shape of loop.
+#include <map>
+#include <ostream>
+
+void
+dumpSorted(std::ostream &os)
+{
+    std::map<int, int> sorted_table;
+    sorted_table[1] = 2;
+    for (const auto &kv : sorted_table)
+        os << kv.first << " " << kv.second << "\n";
+}

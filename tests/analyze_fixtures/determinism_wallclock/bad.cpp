@@ -1,0 +1,8 @@
+// Seeded violation: host clock read outside annotated host-timing code.
+#include <chrono>
+
+long
+hostNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

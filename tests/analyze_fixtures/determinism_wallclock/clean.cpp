@@ -1,0 +1,6 @@
+// Clean twin: time comes from the simulated clock.
+long
+simNow(long now_cycles)
+{
+    return now_cycles;
+}

@@ -1,0 +1,13 @@
+// Seeded violation: bad_x.hpp and bad_y.hpp include each other.
+#ifndef DBSIM_ALPHA_BAD_X_HPP
+#define DBSIM_ALPHA_BAD_X_HPP
+
+#include "alpha/bad_y.hpp"
+
+inline int
+xValue()
+{
+    return 1;
+}
+
+#endif // DBSIM_ALPHA_BAD_X_HPP

@@ -1,0 +1,12 @@
+#ifndef DBSIM_ALPHA_BAD_Y_HPP
+#define DBSIM_ALPHA_BAD_Y_HPP
+
+#include "alpha/bad_x.hpp"
+
+inline int
+yValue()
+{
+    return 2;
+}
+
+#endif // DBSIM_ALPHA_BAD_Y_HPP

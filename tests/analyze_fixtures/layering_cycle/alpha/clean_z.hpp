@@ -1,0 +1,13 @@
+// Clean twin: a one-way include adds no cycle.
+#ifndef DBSIM_ALPHA_CLEAN_Z_HPP
+#define DBSIM_ALPHA_CLEAN_Z_HPP
+
+#include "alpha/bad_x.hpp"
+
+inline int
+zValue()
+{
+    return xValue() + 1;
+}
+
+#endif // DBSIM_ALPHA_CLEAN_Z_HPP

@@ -1,0 +1,14 @@
+// Seeded violation: a common/ (layer 0) header reaching up into sim/
+// (layer 6).
+#ifndef DBSIM_COMMON_BAD_REACH_HPP
+#define DBSIM_COMMON_BAD_REACH_HPP
+
+#include "sim/engine.hpp"
+
+inline int
+peek()
+{
+    return engineVersion();
+}
+
+#endif // DBSIM_COMMON_BAD_REACH_HPP

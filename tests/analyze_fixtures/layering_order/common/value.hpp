@@ -1,0 +1,6 @@
+#ifndef DBSIM_COMMON_VALUE_HPP
+#define DBSIM_COMMON_VALUE_HPP
+
+using Value = unsigned long long;
+
+#endif // DBSIM_COMMON_VALUE_HPP

@@ -1,0 +1,13 @@
+// Clean twin: sim/ (layer 6) including common/ (layer 0) is downward.
+#ifndef DBSIM_SIM_ENGINE_HPP
+#define DBSIM_SIM_ENGINE_HPP
+
+#include "common/value.hpp"
+
+inline int
+engineVersion()
+{
+    return static_cast<int>(Value{3});
+}
+
+#endif // DBSIM_SIM_ENGINE_HPP

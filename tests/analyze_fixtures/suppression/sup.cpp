@@ -1,0 +1,17 @@
+// Both suppression positions: the line above, and trailing.
+#include <chrono>
+
+long
+deadlineA()
+{
+    // dbsim-analyze: allow(determinism-wallclock) -- fixture
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long
+deadlineB()
+{
+    return std::chrono::steady_clock::now() // dbsim-analyze: allow(determinism-wallclock)
+        .time_since_epoch()
+        .count();
+}

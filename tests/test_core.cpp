@@ -489,7 +489,7 @@ TEST(Core, BreakdownAccountsAllCycles)
     Harness h(aluChain(100, 1));
     const Cycles t = h.runToCompletion();
     double sum = 0;
-    for (std::size_t i = 0; i < sim::kNumStallCats; ++i)
+    for (std::size_t i = 0; i < kNumStallCats; ++i)
         sum += h.core.breakdown().cycles[i];
     EXPECT_NEAR(sum, static_cast<double>(t), 1.5);
 }

@@ -387,9 +387,10 @@ TEST(CoherenceChecker, CountsDistinctViolatingBlocks)
     checker.auditBlock(fabric, b1, "test", 32);
     EXPECT_EQ(checker.stats().violations, 3u);
     EXPECT_EQ(checker.stats().violating_blocks, 2u);
-    EXPECT_EQ(checker.violatingBlocks().size(), 2u);
-    EXPECT_EQ(checker.violatingBlocks().count(b1), 1u);
-    EXPECT_EQ(checker.violatingBlocks().count(b2), 1u);
+    const std::vector<Addr> blocks = checker.violatingBlocks();
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0], b1); // sorted ascending: b1 < b2
+    EXPECT_EQ(blocks[1], b2);
 }
 
 // ---------------------------------------------------------------------
@@ -595,6 +596,78 @@ TEST(Diagnostics, MachineStateDumpCoversEveryCpuAndTheDirectory)
     EXPECT_NE(dump.find("l1d mshr"), std::string::npos) << dump;
     EXPECT_NE(dump.find("directory:"), std::string::npos) << dump;
     EXPECT_NE(dump.find("sched:"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("locks:"), std::string::npos) << dump;
+}
+
+// The machine-state dump renders unordered containers (the lock table,
+// the checker's violating-block set) through sorted snapshots, so two
+// identically configured runs -- and even two machines whose unordered
+// maps were populated in different orders -- must dump byte-identical
+// text (DESIGN.md §5c).
+
+TEST(Diagnostics, MachineStateDumpIsByteIdenticalAcrossRuns)
+{
+    auto run_and_dump = [] {
+        sim::SystemParams sp;
+        sp.num_nodes = 2;
+        sim::System sys(sp);
+        workload::OltpParams op;
+        op.num_procs = 4;
+        workload::OltpWorkload wl(op);
+        for (ProcId p = 0; p < op.num_procs; ++p)
+            sys.addProcess(wl.makeProcess(p), p % 2);
+        sys.run(20'000);
+        return sim::machineStateDump(sys);
+    };
+    EXPECT_EQ(run_and_dump(), run_and_dump());
+}
+
+TEST(Diagnostics, LockTableDumpIsSortedRegardlessOfInsertionOrder)
+{
+    sim::SystemParams sp;
+    sp.num_nodes = 1;
+    sim::System a(sp);
+    sim::System b(sp);
+
+    // Same final lock table, inserted in opposite orders: the unordered
+    // map may hash/rehash differently, but the dumps must match.
+    const Addr addrs[] = {0x400, 0x100, 0x900, 0x200, 0x700};
+    for (std::size_t i = 0; i < std::size(addrs); ++i)
+        ASSERT_TRUE(a.lockTryAcquire(addrs[i], static_cast<ProcId>(i)));
+    for (std::size_t i = std::size(addrs); i-- > 0;)
+        ASSERT_TRUE(b.lockTryAcquire(addrs[i], static_cast<ProcId>(i)));
+
+    const auto held = a.heldLocks();
+    ASSERT_EQ(held.size(), std::size(addrs));
+    for (std::size_t i = 1; i < held.size(); ++i)
+        EXPECT_LT(held[i - 1].first, held[i].first);
+
+    EXPECT_EQ(sim::machineStateDump(a), sim::machineStateDump(b));
+    EXPECT_NE(sim::machineStateDump(a).find("locks: 5 held (0x100:p1"),
+              std::string::npos)
+        << sim::machineStateDump(a);
+}
+
+TEST(CoherenceChecker, ViolatingBlocksAreReportedSorted)
+{
+    coher::CoherenceFabric fabric(2);
+    FakeSite site0, site1;
+    fabric.attachSite(0, &site0);
+    fabric.attachSite(1, &site1);
+    coher::CoherenceChecker checker(/*panic_on_violation=*/false);
+
+    // Node 1 claims a Modified copy of lines the directory believes
+    // uncached (I2), audited in non-ascending block order.
+    site1.st = mem::CoherState::Modified;
+    for (const Addr block : {Addr{0x3c00}, Addr{0x1400}, Addr{0x2800}})
+        checker.auditBlock(fabric, block, "test", 10);
+
+    EXPECT_EQ(checker.stats().violations, 3u);
+    const std::vector<Addr> blocks = checker.violatingBlocks();
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0], Addr{0x1400});
+    EXPECT_EQ(blocks[1], Addr{0x2800});
+    EXPECT_EQ(blocks[2], Addr{0x3c00});
 }
 
 } // namespace

@@ -8,14 +8,14 @@
 #include <sstream>
 
 #include "core/report.hpp"
-#include "sim/breakdown.hpp"
+#include "common/breakdown.hpp"
 
 namespace dbsim {
 namespace {
 
 using core::BreakdownRow;
-using sim::Breakdown;
-using sim::StallCat;
+using dbsim::Breakdown;
+using dbsim::StallCat;
 
 Breakdown
 sample(double busy, double dirty, double instr)
@@ -57,9 +57,9 @@ TEST(Breakdown, AccumulateAndReset)
 TEST(Breakdown, NamesDistinct)
 {
     std::set<std::string> names;
-    for (std::size_t i = 0; i < sim::kNumStallCats; ++i)
-        names.insert(sim::stallCatName(static_cast<StallCat>(i)));
-    EXPECT_EQ(names.size(), sim::kNumStallCats);
+    for (std::size_t i = 0; i < kNumStallCats; ++i)
+        names.insert(stallCatName(static_cast<StallCat>(i)));
+    EXPECT_EQ(names.size(), kNumStallCats);
 }
 
 TEST(Breakdown, ToStringListsAllCategories)

@@ -137,10 +137,10 @@ TEST(Simulation, HintsReduceDirtyReadTime)
     const auto r_base = runCfg(base);
     const auto r_hint = runCfg(hints);
     const double d_base =
-        r_base.breakdown[sim::StallCat::ReadDirty] /
+        r_base.breakdown[StallCat::ReadDirty] /
         static_cast<double>(r_base.instructions);
     const double d_hint =
-        r_hint.breakdown[sim::StallCat::ReadDirty] /
+        r_hint.breakdown[StallCat::ReadDirty] /
         static_cast<double>(r_hint.instructions);
     EXPECT_LT(d_hint, d_base);
 }
@@ -155,7 +155,7 @@ TEST(Simulation, DssIsComputeBound)
     const auto r = runCfg(cfg);
     EXPECT_GT(r.ipc, 0.8);
     // Negligible sync and instruction stall.
-    EXPECT_LT(r.breakdown[sim::StallCat::Sync],
+    EXPECT_LT(r.breakdown[StallCat::Sync],
               0.01 * r.breakdown.total());
     EXPECT_LT(r.breakdown.instr(), 0.10 * r.breakdown.total());
 }

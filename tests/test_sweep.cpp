@@ -203,10 +203,10 @@ TEST(SweepRunner, ParallelRunIsBitwiseDeterministic)
         EXPECT_EQ(a[i].run.cycles, b[i].run.cycles);
         EXPECT_EQ(a[i].run.instructions, b[i].run.instructions);
         EXPECT_EQ(a[i].run.ipc, b[i].run.ipc);
-        for (std::size_t c = 0; c < sim::kNumStallCats; ++c) {
-            EXPECT_EQ(a[i].run.breakdown[static_cast<sim::StallCat>(c)],
-                      b[i].run.breakdown[static_cast<sim::StallCat>(c)])
-                << sim::stallCatName(static_cast<sim::StallCat>(c));
+        for (std::size_t c = 0; c < kNumStallCats; ++c) {
+            EXPECT_EQ(a[i].run.breakdown[static_cast<StallCat>(c)],
+                      b[i].run.breakdown[static_cast<StallCat>(c)])
+                << stallCatName(static_cast<StallCat>(c));
         }
 
         EXPECT_EQ(a[i].ch.l1i_miss_per_fetch, b[i].ch.l1i_miss_per_fetch);

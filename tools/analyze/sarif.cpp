@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for dbsim-analyze, built on the repo's own
+ * deterministic streaming JsonWriter so the document is byte-identical
+ * for identical findings (the tool holds itself to the determinism
+ * contract it enforces).
+ */
+
+#include <ostream>
+
+#include "analyze.hpp"
+#include "core/json_writer.hpp"
+
+namespace dbsim::analyze {
+
+void
+writeSarif(std::ostream &os, const Result &r)
+{
+    core::JsonWriter w(os);
+    w.beginObject()
+        .kv("$schema", "https://json.schemastore.org/sarif-2.1.0.json")
+        .kv("version", "2.1.0")
+        .key("runs")
+        .beginArray()
+        .beginObject()
+        .key("tool")
+        .beginObject()
+        .key("driver")
+        .beginObject()
+        .kv("name", "dbsim-analyze")
+        .kv("informationUri",
+            "https://github.com/dbsim/dbsim/blob/main/DESIGN.md")
+        .kv("version", "1.0.0")
+        .key("rules")
+        .beginArray();
+    for (const RuleInfo &rule : ruleCatalog()) {
+        w.beginObject()
+            .kv("id", rule.id)
+            .key("shortDescription")
+            .beginObject()
+            .kv("text", rule.description)
+            .endObject()
+            .key("properties")
+            .beginObject()
+            .kv("family", rule.family)
+            .endObject()
+            .endObject();
+    }
+    w.endArray() // rules
+        .endObject() // driver
+        .endObject() // tool
+        .key("results")
+        .beginArray();
+    for (const Finding &f : r.findings) {
+        w.beginObject()
+            .kv("ruleId", f.rule)
+            .kv("level", "error")
+            .key("message")
+            .beginObject()
+            .kv("text", f.message)
+            .endObject()
+            .key("locations")
+            .beginArray()
+            .beginObject()
+            .key("physicalLocation")
+            .beginObject()
+            .key("artifactLocation")
+            .beginObject()
+            .kv("uri", f.file)
+            .endObject()
+            .key("region")
+            .beginObject()
+            .kv("startLine", static_cast<std::int64_t>(f.line))
+            .endObject()
+            .endObject() // physicalLocation
+            .endObject() // location
+            .endArray() // locations
+            .endObject(); // result
+    }
+    w.endArray() // results
+        .endObject() // run
+        .endArray() // runs
+        .endObject();
+    os << "\n";
+}
+
+} // namespace dbsim::analyze

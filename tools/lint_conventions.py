@@ -1,184 +1,75 @@
 #!/usr/bin/env python3
-"""Repository convention linter for the simulator sources.
+"""DEPRECATED: thin wrapper around `dbsim-analyze`.
 
-Enforced over every C++ file under src/:
+The python convention linter has been absorbed into the self-hosted
+static analysis tool (tools/analyze/): its four rules now run as the
+`conventions` family (convention-assert, convention-stdout,
+convention-include-guard, convention-catch-swallow) with the same
+semantics, including the `lint: allowed-swallow` escape hatch.
 
-  1. no raw assert(): invariants go through DBSIM_ASSERT / DBSIM_PANIC
-     (common/log.hpp) so they survive NDEBUG builds, print context, and
-     run the crash-dump registry (static_assert is fine);
-  2. no direct stdout output (std::cout, printf, puts, fprintf(stdout)):
-     library code reports through common/log or returns data -- only
-     tools/, bench/ and examples/ own stdout (std::snprintf into a
-     buffer is formatting, not output, and stays allowed);
-  3. header include guards exist and are named DBSIM_<PATH>_<FILE>_HPP,
-     derived from the path under src/ (e.g. src/verify/litmus.hpp
-     guards DBSIM_VERIFY_LITMUS_HPP);
-  4. no swallowing catch (...): a bare catch-all must rethrow, capture
-     the exception (std::current_exception), or turn it into a
-     structured SweepFailure -- silently eating errors hides faults the
-     sweep isolation layer is designed to surface.  A deliberate
-     swallow is annotated with a `lint: allowed-swallow` comment inside
-     the block.
+This script only locates the built binary and execs it with the
+convention rules selected, so existing CI invocations keep working.
+Prefer calling `dbsim-analyze` directly; see tools/analyze/ and
+DESIGN.md §5f.
 
-Exit status 0 when clean, 1 with one "file:line: message" per finding
-otherwise.  Run from anywhere: paths resolve relative to the repo root
-(the parent of this script's directory).
+Binary lookup order:
+  1. $DBSIM_ANALYZE (explicit path)
+  2. <repo>/build*/tools/analyze/dbsim-analyze
+  3. dbsim-analyze on $PATH
 """
 
-import re
+import os
+import shutil
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC = REPO_ROOT / "src"
 
-RAW_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
-STDOUT_USE = re.compile(
-    r"std::cout|(?<![\w_])printf\s*\(|(?<![\w_])puts\s*\("
-    r"|(?<![\w_])fprintf\s*\(\s*stdout"
+CONVENTION_RULES = ",".join(
+    (
+        "convention-assert",
+        "convention-stdout",
+        "convention-include-guard",
+        "convention-catch-swallow",
+    )
 )
-GUARD_IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
-GUARD_DEFINE = re.compile(r"^\s*#\s*define\s+(\S+)")
-CATCH_ALL = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
-CATCH_HANDLED = re.compile(r"(?<![\w_])throw(?![\w_])|SweepFailure"
-                           r"|std::current_exception")
-ALLOWED_SWALLOW = "lint: allowed-swallow"
 
 
-def catch_all_findings(rel, text: str, code: str) -> list[str]:
-    """Rule 4: every `catch (...)` block must rethrow, capture, or
-    build a SweepFailure -- or carry a `lint: allowed-swallow` comment
-    (checked against the raw text, since comments are stripped from
-    `code`)."""
-    findings = []
-    for m in CATCH_ALL.finditer(code):
-        lineno = code.count("\n", 0, m.start()) + 1
-        open_brace = code.find("{", m.end())
-        if open_brace < 0:
-            continue
-        depth, j = 0, open_brace
-        while j < len(code):
-            if code[j] == "{":
-                depth += 1
-            elif code[j] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            j += 1
-        block = code[open_brace : j + 1]
-        if CATCH_HANDLED.search(block):
-            continue
-        # Comment annotations are stripped from `code`; re-check the
-        # raw text over the block's line range (line structure is
-        # preserved by the stripper, character offsets are not).
-        end_line = code.count("\n", 0, j) + 1
-        raw_lines = text.splitlines()[lineno - 1 : end_line]
-        if any(ALLOWED_SWALLOW in ln for ln in raw_lines):
-            continue
-        findings.append(
-            f"{rel}:{lineno}: catch (...) swallows the exception; "
-            "rethrow, capture it, or record a SweepFailure "
-            "(annotate deliberate swallows with "
-            f"'{ALLOWED_SWALLOW}')"
-        )
-    return findings
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line
-    structure so reported line numbers stay accurate."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        two = text[i : i + 2]
-        if two == "//":
-            j = text.find("\n", i)
-            i = n if j < 0 else j
-        elif two == "/*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        elif c in "\"'":
-            quote, j = c, i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            i = min(j + 1, n)
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def expected_guard(path: Path) -> str:
-    rel = path.relative_to(SRC).with_suffix("")
-    return "DBSIM_" + "_".join(p.upper() for p in rel.parts) + "_HPP"
-
-
-def lint_file(path: Path) -> list[str]:
-    findings = []
-    rel = path.relative_to(REPO_ROOT)
-    text = path.read_text(encoding="utf-8")
-    code = strip_comments_and_strings(text)
-
-    findings.extend(catch_all_findings(rel, text, code))
-
-    for lineno, line in enumerate(code.splitlines(), start=1):
-        if RAW_ASSERT.search(line):
-            findings.append(
-                f"{rel}:{lineno}: raw assert(); use DBSIM_ASSERT "
-                "(common/log.hpp)"
-            )
-        if STDOUT_USE.search(line):
-            findings.append(
-                f"{rel}:{lineno}: direct stdout output in library code; "
-                "use common/log or return data"
-            )
-
-    if path.suffix == ".hpp":
-        ifndef = define = None
-        ifndef_line = 0
-        for lineno, line in enumerate(code.splitlines(), start=1):
-            if ifndef is None:
-                m = GUARD_IFNDEF.match(line)
-                if m:
-                    ifndef, ifndef_line = m.group(1), lineno
-            elif define is None:
-                m = GUARD_DEFINE.match(line)
-                if m:
-                    define = m.group(1)
-                    break
-        want = expected_guard(path)
-        if ifndef is None or define is None:
-            findings.append(f"{rel}:1: missing include guard {want}")
-        elif ifndef != want or define != want:
-            findings.append(
-                f"{rel}:{ifndef_line}: include guard {ifndef}/{define} "
-                f"should be {want}"
-            )
-
-    return findings
+def find_binary() -> str | None:
+    env = os.environ.get("DBSIM_ANALYZE")
+    if env and Path(env).is_file():
+        return env
+    for build in sorted(REPO_ROOT.glob("build*")):
+        cand = build / "tools" / "analyze" / "dbsim-analyze"
+        if cand.is_file():
+            return str(cand)
+    return shutil.which("dbsim-analyze")
 
 
 def main() -> int:
-    if not SRC.is_dir():
-        print(f"lint_conventions: {SRC} not found", file=sys.stderr)
+    binary = find_binary()
+    if binary is None:
+        print(
+            "lint_conventions: dbsim-analyze binary not found; build it "
+            "(cmake --build build --target dbsim-analyze) or set "
+            "$DBSIM_ANALYZE",
+            file=sys.stderr,
+        )
         return 2
-    files = sorted(
-        p for p in SRC.rglob("*") if p.suffix in (".cpp", ".hpp")
-    )
-    if not files:
-        print("lint_conventions: no sources found under src/",
-              file=sys.stderr)
-        return 2
-    findings = [f for path in files for f in lint_file(path)]
-    for f in findings:
-        print(f)
     print(
-        f"lint_conventions: {len(files)} files, {len(findings)} finding(s)"
+        "lint_conventions: deprecated wrapper; running "
+        f"{binary} --rules {CONVENTION_RULES}",
+        file=sys.stderr,
     )
-    return 1 if findings else 0
+    argv = [
+        binary,
+        "--root",
+        str(REPO_ROOT),
+        "--rules",
+        CONVENTION_RULES,
+    ] + sys.argv[1:]
+    os.execv(binary, argv)
+    return 2  # unreachable
 
 
 if __name__ == "__main__":
