@@ -22,6 +22,14 @@
  *                         identical seeds (implies collect on final failure)
  *   --item-timeout-sec N  host wall-clock budget per item (default:
  *                         DBSIM_ITEM_TIMEOUT, then disabled)
+ *   --checkpoint-dir D    write per-item checkpoints under D; timed-out /
+ *                         interrupted items leave a resumable checkpoint
+ *   --checkpoint-interval N  periodic checkpoint every N cycles (default
+ *                         500000 once a checkpoint dir is set)
+ *   --state-hash-interval N  record an FNV state hash every N cycles
+ *                         (emitted per item in the JSON report)
+ *   --restore             before running an item, restore it from its
+ *                         checkpoint under --checkpoint-dir if one exists
  *
  * Exit codes: 0 clean; 1 JSON/journal write failure; 2 config rejection;
  * 3 invariant failure; core::kSweepPartialFailureExit (4) when a
@@ -41,6 +49,7 @@
 #include "core/config.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace dbsim::bench {
 
@@ -54,6 +63,10 @@ struct BenchOptions
     bool collect_failures = false;   ///< --on-failure collect
     unsigned max_retries = 0;        ///< extra attempts per failed item
     unsigned item_timeout_sec = 0;   ///< 0 = DBSIM_ITEM_TIMEOUT / disabled
+    std::string checkpoint_dir;      ///< empty = checkpointing disabled
+    std::uint64_t checkpoint_interval = 0; ///< cycles; 0 = default
+    std::uint64_t state_hash_interval = 0; ///< cycles; 0 = disabled
+    bool restore = false;            ///< --restore: reuse item checkpoints
     std::vector<std::string> rest; ///< unconsumed (bench-specific) args
 
     bool
@@ -93,6 +106,23 @@ parseBenchArgs(int argc, char **argv)
         }
         return static_cast<unsigned>(n);
     };
+    auto parseCycles = [](const std::string &field,
+                          const std::string &v) -> std::uint64_t {
+        std::size_t pos = 0;
+        unsigned long long n = 0;
+        try {
+            n = std::stoull(v, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos != v.size() || v.find('-') != std::string::npos) {
+            throw ConfigError(field, "--" + field.substr(4) +
+                                         " wants a nonnegative cycle "
+                                         "count, got \"" +
+                                         v + "\"");
+        }
+        return static_cast<std::uint64_t>(n);
+    };
     auto apply = [&](const std::string &flag, const std::string &v) {
         if (flag == "--jobs") {
             opts.jobs = parseUnsigned("cli.jobs", v, /*allow_zero=*/false);
@@ -108,6 +138,14 @@ parseBenchArgs(int argc, char **argv)
         } else if (flag == "--item-timeout-sec") {
             opts.item_timeout_sec = parseUnsigned("cli.item-timeout-sec", v,
                                                   /*allow_zero=*/true);
+        } else if (flag == "--checkpoint-dir") {
+            opts.checkpoint_dir = v;
+        } else if (flag == "--checkpoint-interval") {
+            opts.checkpoint_interval =
+                parseCycles("cli.checkpoint-interval", v);
+        } else if (flag == "--state-hash-interval") {
+            opts.state_hash_interval =
+                parseCycles("cli.state-hash-interval", v);
         } else if (flag == "--on-failure") {
             if (v == "collect") {
                 opts.collect_failures = true;
@@ -124,10 +162,16 @@ parseBenchArgs(int argc, char **argv)
     const char *valued[] = {"--jobs",        "--json",
                             "--journal",     "--resume",
                             "--max-retries", "--item-timeout-sec",
-                            "--on-failure"};
+                            "--on-failure",  "--checkpoint-dir",
+                            "--checkpoint-interval",
+                            "--state-hash-interval"};
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         bool consumed = false;
+        if (a == "--restore") { // valueless flag
+            opts.restore = true;
+            continue;
+        }
         for (const char *flag : valued) {
             if (a == flag) {
                 if (i + 1 >= argc) {
@@ -173,6 +217,15 @@ class BenchContext
         runner_.setFailurePolicy(policy);
         runner_.setItemTimeout(core::SweepRunner::resolveItemTimeout(
             static_cast<double>(opts.item_timeout_sec)));
+        runner_.setStateHashInterval(opts.state_hash_interval);
+        if (!opts.checkpoint_dir.empty()) {
+            runner_.setCheckpointDir(opts.checkpoint_dir);
+            runner_.setCheckpointInterval(opts.checkpoint_interval);
+            runner_.setRestore(opts.restore);
+            // SIGINT/SIGTERM now flush a checkpoint before unwinding, so
+            // an interrupted sweep can be resumed mid-item.
+            sim::installCheckpointSignalHandler();
+        }
         report_.failure_policy = policy.describe();
         report_.item_timeout_sec = runner_.itemTimeout();
 

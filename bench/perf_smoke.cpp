@@ -11,6 +11,9 @@
  *        plus the shared fault-tolerance flags (bench_util.hpp):
  *        [--journal PATH|none] [--resume JOURNAL] [--on-failure abort|collect]
  *        [--max-retries N] [--item-timeout-sec S]
+ *        and the checkpoint/epoch-hash flags (DESIGN.md §5g):
+ *        [--checkpoint-dir DIR] [--checkpoint-interval CYCLES]
+ *        [--state-hash-interval CYCLES] [--restore]
  */
 
 #include <cstdio>

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim::coher {
@@ -104,6 +105,47 @@ class CoherenceChecker
     std::vector<Addr> violatingBlocks() const;
 
     static constexpr std::size_t kMaxRecorded = 32;
+
+    /**
+     * Checkpoints are taken at run-loop boundaries, after auditPending
+     * drained the transaction queue, so pending_ (which holds
+     * string-literal pointers) is never serialized.
+     */
+    void
+    saveState(snap::Writer &w) const
+    {
+        if (!pending_.empty())
+            throw snap::SnapshotError("snapshot: checker has undrained "
+                                      "transactions");
+        w.u64(stats_.transactions);
+        w.u64(stats_.audits);
+        w.u64(stats_.violations);
+        w.u64(stats_.violating_blocks);
+        w.u64(violations_.size());
+        for (const std::string &v : violations_)
+            w.str(v);
+        w.u64(violating_blocks_.size());
+        for (Addr b : snap::sortedKeys(violating_blocks_))
+            w.u64(b);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        pending_.clear();
+        stats_.transactions = r.u64();
+        stats_.audits = r.u64();
+        stats_.violations = r.u64();
+        stats_.violating_blocks = r.u64();
+        violations_.clear();
+        const std::size_t nv = r.length(8);
+        for (std::size_t i = 0; i < nv; ++i)
+            violations_.push_back(r.str());
+        violating_blocks_.clear();
+        const std::size_t nb = r.length(8);
+        for (std::size_t i = 0; i < nb; ++i)
+            violating_blocks_.insert(r.u64());
+    }
 
   private:
     void reportViolation(Addr block, const std::string &what);

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim::coher {
@@ -99,6 +100,55 @@ class MigratoryDetector
 
     /** Number of distinct PCs that ever generated a migratory reference. */
     std::size_t migratoryPcs() const { return pc_refs_.size(); }
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(migratory_.size());
+        for (Addr b : snap::sortedKeys(migratory_))
+            w.u64(b);
+        w.u64(line_write_refs_.size());
+        for (Addr b : snap::sortedKeys(line_write_refs_)) {
+            w.u64(b);
+            w.u64(line_write_refs_.at(b));
+        }
+        w.u64(pc_refs_.size());
+        for (Addr pc : snap::sortedKeys(pc_refs_)) {
+            w.u64(pc);
+            w.u64(pc_refs_.at(pc));
+        }
+        w.u64(stats_.shared_writes);
+        w.u64(stats_.migratory_writes);
+        w.u64(stats_.dirty_reads);
+        w.u64(stats_.migratory_dirty_reads);
+        w.u64(stats_.lines_marked);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        migratory_.clear();
+        line_write_refs_.clear();
+        pc_refs_.clear();
+        const std::size_t nm = r.length(8);
+        for (std::size_t i = 0; i < nm; ++i)
+            migratory_.insert(r.u64());
+        const std::size_t nl = r.length(16);
+        for (std::size_t i = 0; i < nl; ++i) {
+            const Addr b = r.u64();
+            line_write_refs_[b] = r.u64();
+        }
+        const std::size_t np = r.length(16);
+        for (std::size_t i = 0; i < np; ++i) {
+            const Addr pc = r.u64();
+            pc_refs_[pc] = r.u64();
+        }
+        stats_.shared_writes = r.u64();
+        stats_.migratory_writes = r.u64();
+        stats_.dirty_reads = r.u64();
+        stats_.migratory_dirty_reads = r.u64();
+        stats_.lines_marked = r.u64();
+    }
 
   private:
     static double concentration(std::vector<std::uint64_t> counts,

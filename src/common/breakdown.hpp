@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim {
@@ -72,6 +73,20 @@ struct Breakdown
     Breakdown &operator+=(const Breakdown &o);
 
     void reset() { cycles.fill(0.0); }
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        for (double c : cycles)
+            w.f64(c);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        for (double &c : cycles)
+            c = r.f64();
+    }
 
     /** Multi-line human-readable dump. */
     std::string toString() const;

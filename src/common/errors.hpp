@@ -12,6 +12,11 @@
  *                       simulation was still running (sweep fault
  *                       isolation); carries the machine-state dump taken
  *                       at the point the deadline was noticed.
+ * SimInterruptedError-- the process received SIGINT/SIGTERM while a
+ *                       simulation was running and the run loop unwound
+ *                       cooperatively (after writing a checkpoint when
+ *                       one is configured); carries the machine-state
+ *                       dump like SimTimeoutError.
  */
 
 #ifndef DBSIM_COMMON_ERRORS_HPP
@@ -74,6 +79,27 @@ class SimTimeoutError : public std::runtime_error
     }
 
     /** Machine state at deadline expiry (may be empty). */
+    const std::string &dump() const { return dump_; }
+
+  private:
+    std::string dump_;
+};
+
+/**
+ * A termination signal (SIGINT / SIGTERM) was noticed by the run loop's
+ * cooperative poll (sim/diagnostics.hpp).  Thrown from System::run
+ * *after* any configured checkpoint has been written, so destructors run
+ * normally and the caller can report the checkpoint path before exiting.
+ */
+class SimInterruptedError : public std::runtime_error
+{
+  public:
+    SimInterruptedError(const std::string &msg, std::string dump)
+        : std::runtime_error(msg), dump_(std::move(dump))
+    {
+    }
+
+    /** Machine state at the point the signal was noticed (may be empty). */
     const std::string &dump() const { return dump_; }
 
   private:

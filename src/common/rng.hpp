@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hpp"
+
 namespace dbsim {
 
 /**
@@ -57,6 +59,20 @@ class Rng
 
     /** Derive an independent child stream (for per-process generators). */
     Rng fork();
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        for (std::uint64_t s : s_)
+            w.u64(s);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        for (std::uint64_t &s : s_)
+            s = r.u64();
+    }
 
   private:
     std::uint64_t s_[4];

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim::stats {
@@ -52,6 +53,28 @@ class Histogram
         for (auto &c : counts_)
             c = 0;
         total_ = sum_ = 0;
+    }
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(counts_.size());
+        for (std::uint64_t c : counts_)
+            w.u64(c);
+        w.u64(total_);
+        w.u64(sum_);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        const std::size_t n = r.length(8);
+        if (n != counts_.size())
+            throw snap::SnapshotError("snapshot: histogram bucket mismatch");
+        for (auto &c : counts_)
+            c = r.u64();
+        total_ = r.u64();
+        sum_ = r.u64();
     }
 
   private:
@@ -94,6 +117,28 @@ class OccupancyTracker
     double fracAtLeast(std::uint32_t n) const;
 
     void reset();
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(time_at_.size());
+        for (Cycles t : time_at_)
+            w.u64(t);
+        w.u64(last_);
+        w.u32(current_);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        const std::size_t n = r.length(8);
+        if (n != time_at_.size())
+            throw snap::SnapshotError("snapshot: occupancy level mismatch");
+        for (auto &t : time_at_)
+            t = r.u64();
+        last_ = r.u64();
+        current_ = r.u32();
+    }
 
   private:
     std::vector<Cycles> time_at_;

@@ -1,5 +1,7 @@
 #include "core/simulation.hpp"
 
+#include <fstream>
+
 #include "common/log.hpp"
 #include "workload/hints.hpp"
 
@@ -57,6 +59,31 @@ Simulation::run()
         build();
     return system_->run(cfg_.total_instructions,
                         cfg_.warmup_instructions);
+}
+
+void
+Simulation::prepare()
+{
+    if (!system_)
+        build();
+}
+
+bool
+Simulation::restoreFromCheckpoint(const std::string &path)
+{
+    prepare();
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe)
+            return false; // no checkpoint yet: start fresh, silently
+    }
+    try {
+        system_->restoreCheckpoint(path);
+        return true;
+    } catch (const snap::SnapshotError &e) {
+        DBSIM_WARN("ignoring unusable checkpoint ", path, ": ", e.what());
+        return false;
+    }
 }
 
 Characterization

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -33,6 +35,16 @@ mix64(std::uint64_t x)
 
 /** Ceiling on the diagnostic dump text carried by a SweepFailure. */
 constexpr std::size_t kMaxDumpExcerpt = 4000;
+
+/** Periodic checkpoint cadence used when a checkpoint directory is
+ *  configured without an explicit --checkpoint-interval. */
+constexpr Cycles kDefaultCheckpointInterval = 500'000;
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path, std::ios::binary).good();
+}
 
 std::string
 truncated(std::string s)
@@ -68,6 +80,8 @@ failureKindName(FailureKind kind)
         return "timeout";
       case FailureKind::Exception:
         return "exception";
+      case FailureKind::Interrupted:
+        return "interrupted";
     }
     return "unknown";
 }
@@ -158,6 +172,30 @@ SweepRunner::resolveItemTimeout(double cli_seconds)
 
 SweepRunner::SweepRunner(unsigned jobs) : jobs_(resolveJobs(jobs)) {}
 
+void
+SweepRunner::setCheckpointDir(std::string dir)
+{
+    checkpoint_dir_ = std::move(dir);
+    if (!checkpoint_dir_.empty()) {
+        // Create the directory eagerly so the first mid-run periodic
+        // checkpoint never turns a healthy item into a failure.
+        std::error_code ec;
+        std::filesystem::create_directories(checkpoint_dir_, ec);
+        if (ec) {
+            DBSIM_WARN("cannot create checkpoint dir ", checkpoint_dir_,
+                       ": ", ec.message());
+        }
+    }
+}
+
+std::string
+SweepRunner::checkpointPathFor(std::size_t index) const
+{
+    if (checkpoint_dir_.empty())
+        return {};
+    return checkpoint_dir_ + "/item-" + std::to_string(index) + ".ckpt";
+}
+
 SweepResult
 SweepRunner::runOne(const SweepItem &item, std::size_t index,
                     unsigned attempt) const
@@ -197,12 +235,34 @@ SweepRunner::runOne(const SweepItem &item, std::size_t index,
     if (out.label.empty())
         out.label = out.config;
 
+    if (state_hash_interval_)
+        out.cfg.system.state_hash_interval = state_hash_interval_;
+    const std::string ckpt_path = checkpointPathFor(index);
+    if (!ckpt_path.empty()) {
+        out.cfg.system.checkpoint_path = ckpt_path;
+        out.cfg.system.checkpoint_interval =
+            checkpoint_interval_ ? checkpoint_interval_
+                                 : kDefaultCheckpointInterval;
+    }
+
     // Annotated host-timing code: wall_seconds / sim_ips report *host*
     // throughput and are excluded from determinism comparisons
     // (tools/compare_reports.py ignores exactly these fields).
     // dbsim-analyze: allow(determinism-wallclock)
     const auto t0 = std::chrono::steady_clock::now();
     Simulation simulation(out.cfg);
+    // Continue from the item's checkpoint when resuming (--restore) or
+    // retrying after a mid-flight failure; a fresh deadline plus the
+    // already-simulated prefix is what makes timeout retries able to
+    // finish instead of deterministically timing out again.
+    if ((restore_ || attempt > 1) && !ckpt_path.empty() &&
+        fileExists(ckpt_path)) {
+        if (simulation.restoreFromCheckpoint(ckpt_path)) {
+            DBSIM_WARN("sweep item ", index, " (\"", out.label,
+                       "\") restored from checkpoint ", ckpt_path,
+                       " at cycle ", simulation.system().now());
+        }
+    }
     out.run = simulation.run();
     // dbsim-analyze: allow(determinism-wallclock)
     const auto t1 = std::chrono::steady_clock::now();
@@ -270,6 +330,14 @@ SweepRunner::runIsolated(const SweepItem &item, std::size_t index) const
             what = e.what();
             excerpt = truncated(e.dump());
             out.error = std::current_exception();
+        } catch (const SimInterruptedError &e) {
+            // The operator asked the process to stop; retrying would
+            // fight the shutdown.  The checkpoint (written before the
+            // unwind) is recorded below for --resume --restore.
+            kind = FailureKind::Interrupted;
+            what = e.what();
+            excerpt = truncated(e.dump());
+            out.error = std::current_exception();
         } catch (const SimInvariantError &e) {
             // The panic path appends the crash-dump registry's text
             // after the first line of the message; split it back apart.
@@ -289,8 +357,25 @@ SweepRunner::runIsolated(const SweepItem &item, std::size_t index) const
         }
 
         // Configuration rejections are deterministic in the item, so
-        // retrying them can only reproduce the same refusal.
-        const bool retryable = kind != FailureKind::Config;
+        // retrying them can only reproduce the same refusal; an
+        // interrupt is the operator telling us to stop.  A timeout is
+        // only worth retrying when the item has a checkpoint to restore
+        // from -- an identical from-scratch re-run of a deterministic
+        // simulation would hit the same wall and burn max_attempts
+        // deadlines' worth of host time lying about its chances, so
+        // without checkpoints the timeout is recorded honestly with the
+        // attempts it actually consumed.
+        bool retryable = kind != FailureKind::Config &&
+                         kind != FailureKind::Interrupted;
+        if (kind == FailureKind::Timeout && checkpoint_dir_.empty()) {
+            retryable = false;
+            if (max_attempts > 1 && attempt < max_attempts) {
+                DBSIM_WARN("sweep item ", index, " (\"", item.label,
+                           "\") timed out and no --checkpoint-dir is "
+                           "configured; not retrying (a from-scratch "
+                           "re-run would time out identically)");
+            }
+        }
         if (retryable && attempt < max_attempts) {
             DBSIM_WARN("sweep item ", index, " (\"", item.label,
                        "\") failed attempt ", attempt, "/", max_attempts,
@@ -308,6 +393,10 @@ SweepRunner::runIsolated(const SweepItem &item, std::size_t index) const
         out.failure.what = std::move(what);
         out.failure.crash_dump_excerpt = std::move(excerpt);
         out.failure.attempts = attempt;
+        if (const std::string p = checkpointPathFor(index);
+            !p.empty() && fileExists(p)) {
+            out.failure.checkpoint_path = p;
+        }
         return out;
     }
 }
@@ -515,6 +604,22 @@ writeResultBody(JsonWriter &w, const SweepResult &r)
     w.key("l2_read");
     writeOccupancySeries(w, r.l2_read_occ, 8);
     w.endObject();
+
+    // Epoch state-hash series: [cycle, hash] pairs.  Hashes are 64-bit
+    // and JSON numbers are not, so they render as hex strings.  Always
+    // present (empty when state hashing is disabled), so the report
+    // schema is stable and compare_reports.py sees the field on both
+    // sides.
+    w.key("epoch_hashes").beginArray();
+    for (const sim::EpochHash &eh : r.run.epoch_hashes) {
+        std::ostringstream hex;
+        hex << "0x" << std::hex << eh.hash;
+        w.beginArray();
+        w.value(static_cast<std::uint64_t>(eh.epoch));
+        w.value(hex.str());
+        w.endArray();
+    }
+    w.endArray();
 }
 
 } // namespace
@@ -539,6 +644,7 @@ renderSweepEntryJson(const std::string &section,
         w.kv("kind", failureKindName(outcome.failure.kind));
         w.kv("what", outcome.failure.what);
         w.kv("crash_dump_excerpt", outcome.failure.crash_dump_excerpt);
+        w.kv("checkpoint", outcome.failure.checkpoint_path);
         w.endObject();
     }
     w.endObject();

@@ -115,6 +115,7 @@ enum class FailureKind : std::uint8_t {
     Invariant, ///< SimInvariantError: DBSIM_PANIC / watchdog / checker
     Timeout,   ///< SimTimeoutError: host-side item deadline expired
     Exception, ///< any other exception
+    Interrupted, ///< SimInterruptedError: SIGINT/SIGTERM (never retried)
 };
 
 const char *failureKindName(FailureKind kind);
@@ -128,6 +129,10 @@ struct SweepFailure
     std::string what;   ///< first line of the error message
     std::string crash_dump_excerpt; ///< bounded diagnostic dump (may be empty)
     unsigned attempts = 1; ///< attempts consumed, including the last
+    /** Path of the item's checkpoint file, when one exists on disk --
+     *  how a resumed sweep continues a long item mid-flight instead of
+     *  starting it over. */
+    std::string checkpoint_path;
 };
 
 /** What the runner does when an item fails. */
@@ -237,6 +242,40 @@ class SweepRunner
     void setFaultPlan(const FaultPlan *plan) { fault_plan_ = plan; }
 
     /**
+     * Directory for per-item checkpoints (empty disables, the default).
+     * When set, every item runs with a checkpoint path of
+     * checkpointPathFor(original index): the run loop checkpoints
+     * periodically and on timeout/signal unwind, retries of
+     * timeout-kind failures restore from the item's checkpoint instead
+     * of starting over, and failures record the checkpoint path in the
+     * journal so a resumed sweep continues long items mid-flight.
+     */
+    void setCheckpointDir(std::string dir);
+    const std::string &checkpointDir() const { return checkpoint_dir_; }
+
+    /** Simulated-cycle cadence of periodic checkpoints (0 = a default
+     *  of 500k cycles when a checkpoint dir is configured). */
+    void setCheckpointInterval(Cycles interval)
+    {
+        checkpoint_interval_ = interval;
+    }
+
+    /** Epoch state-hash cadence forwarded to every item's config
+     *  (0 disables; see SystemParams::state_hash_interval). */
+    void setStateHashInterval(Cycles interval)
+    {
+        state_hash_interval_ = interval;
+    }
+
+    /** When true, first attempts also restore from an existing item
+     *  checkpoint (the --restore resume path).  Retries always do. */
+    void setRestore(bool restore) { restore_ = restore; }
+
+    /** Checkpoint file path for original item @p index (empty when no
+     *  checkpoint dir is configured). */
+    std::string checkpointPathFor(std::size_t index) const;
+
+    /**
      * Invoked once per item as it reaches its final status (from worker
      * threads, serialized by the runner) -- the journaling hook.  The
      * outcome's index refers to the original item list.
@@ -309,6 +348,10 @@ class SweepRunner
     double item_timeout_sec_ = 0.0;
     const FaultPlan *fault_plan_ = nullptr;
     std::function<void(const SweepItemOutcome &)> on_complete_;
+    std::string checkpoint_dir_;
+    Cycles checkpoint_interval_ = 0;
+    Cycles state_hash_interval_ = 0;
+    bool restore_ = false;
 };
 
 // ---------------------------------------------------------------------

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "trace/record.hpp"
 
@@ -51,6 +52,26 @@ class FuncUnitPool
     const FuncUnitParams &params() const { return p_; }
 
     std::uint64_t structuralStalls() const { return structural_stalls_; }
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(cycle_);
+        w.u32(int_used_);
+        w.u32(fp_used_);
+        w.u32(addr_used_);
+        w.u64(structural_stalls_);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        cycle_ = r.u64();
+        int_used_ = r.u32();
+        fp_used_ = r.u32();
+        addr_used_ = r.u32();
+        structural_stalls_ = r.u64();
+    }
 
   private:
     void rollCycle(Cycles now);

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "cpu/branch_predictor.hpp"
 #include "cpu/consistency.hpp"
@@ -147,6 +149,16 @@ class Core
 
     /** Zero statistical state (architectural state is preserved). */
     void resetStats();
+
+    /** Serialize the full micro-architectural state (checkpointing). */
+    void saveState(snap::Writer &w) const;
+
+    /**
+     * Restore state saved by saveState().  @p resolve maps a serialized
+     * ProcId back to the live ProcessContext (nullptr for "idle").
+     */
+    void restoreState(snap::Reader &r,
+                      const std::function<ProcessContext *(ProcId)> &resolve);
 
   private:
     static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim::net {
@@ -48,6 +49,24 @@ class Resource
     Cycles totalHeld() const { return total_held_; }
     Cycles totalWait() const { return total_wait_; }
     std::uint64_t acquisitions() const { return acquisitions_; }
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(busy_until_);
+        w.u64(total_held_);
+        w.u64(total_wait_);
+        w.u64(acquisitions_);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        busy_until_ = r.u64();
+        total_held_ = r.u64();
+        total_wait_ = r.u64();
+        acquisitions_ = r.u64();
+    }
 
   private:
     Cycles busy_until_ = 0;
@@ -110,6 +129,24 @@ class Mesh
 
     /** Aggregate queueing delay experienced on all links (contention). */
     Cycles totalLinkWait() const;
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(links_.size());
+        for (const Resource &res : links_)
+            res.saveState(w);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        const std::size_t n = r.length(32);
+        if (n != links_.size())
+            throw snap::SnapshotError("snapshot: mesh geometry mismatch");
+        for (Resource &res : links_)
+            res.restoreState(r);
+    }
 
   private:
     std::uint32_t xOf(std::uint32_t node) const { return node % width_; }

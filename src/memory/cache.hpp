@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim::mem {
@@ -80,6 +81,32 @@ class CacheArray
 
     /** Number of valid lines (for tests / occupancy checks). */
     std::uint64_t validLines() const;
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(ways_.size());
+        for (const Way &way : ways_) {
+            w.u64(way.tag);
+            w.u8(static_cast<std::uint8_t>(way.state));
+            w.u64(way.lru);
+        }
+        w.u64(stamp_);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        const std::size_t n = r.length(17);
+        if (n != ways_.size())
+            throw snap::SnapshotError("snapshot: cache geometry mismatch");
+        for (Way &way : ways_) {
+            way.tag = r.u64();
+            way.state = static_cast<CoherState>(r.u8());
+            way.lru = r.u64();
+        }
+        stamp_ = r.u64();
+    }
 
   private:
     struct Way

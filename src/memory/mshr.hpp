@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -30,6 +31,26 @@ struct MshrStats
                                      ///< one per request, not per retry
     stats::OccupancyTracker occupancy{64};      ///< all misses
     stats::OccupancyTracker read_occupancy{64}; ///< read misses only
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(allocations);
+        w.u64(coalesced);
+        w.u64(full_stalls);
+        occupancy.saveState(w);
+        read_occupancy.saveState(w);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        allocations = r.u64();
+        coalesced = r.u64();
+        full_stalls = r.u64();
+        occupancy.restoreState(r);
+        read_occupancy.restoreState(r);
+    }
 };
 
 /**
@@ -94,6 +115,44 @@ class MshrFile
 
     const MshrStats &stats() const { return stats_; }
     MshrStats &stats() { return stats_; }
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(entries_.size());
+        for (const Entry &e : entries_) {
+            w.u64(e.block);
+            w.u64(e.done);
+            w.boolean(e.is_read);
+            w.boolean(e.has_write);
+        }
+        w.u64(stalled_blocks_.size());
+        for (Addr b : stalled_blocks_)
+            w.u64(b);
+        stats_.saveState(w);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        const std::size_t n = r.length(18);
+        if (n > capacity_)
+            throw snap::SnapshotError("snapshot: MSHR capacity mismatch");
+        entries_.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            Entry e;
+            e.block = r.u64();
+            e.done = r.u64();
+            e.is_read = r.boolean();
+            e.has_write = r.boolean();
+            entries_.push_back(e);
+        }
+        const std::size_t s = r.length(8);
+        stalled_blocks_.clear();
+        for (std::size_t i = 0; i < s; ++i)
+            stalled_blocks_.push_back(r.u64());
+        stats_.restoreState(r);
+    }
 
   private:
     struct Entry

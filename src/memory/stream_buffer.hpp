@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim::mem {
@@ -87,6 +88,43 @@ class StreamBuffer
     }
 
     const StreamBufferStats &stats() const { return stats_; }
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(fifo_.size());
+        for (const Entry &e : fifo_) {
+            w.u64(e.block);
+            w.u64(e.ready);
+            w.boolean(e.valid);
+        }
+        w.u64(next_block_);
+        w.u64(stats_.probes);
+        w.u64(stats_.hits);
+        w.u64(stats_.flushes);
+        w.u64(stats_.prefetches);
+        w.u64(stats_.useless);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        const std::size_t n = r.length(17);
+        if (n != fifo_.size())
+            throw snap::SnapshotError("snapshot: stream-buffer depth "
+                                      "mismatch");
+        for (Entry &e : fifo_) {
+            e.block = r.u64();
+            e.ready = r.u64();
+            e.valid = r.boolean();
+        }
+        next_block_ = r.u64();
+        stats_.probes = r.u64();
+        stats_.hits = r.u64();
+        stats_.flushes = r.u64();
+        stats_.prefetches = r.u64();
+        stats_.useless = r.u64();
+    }
 
   private:
     struct Entry

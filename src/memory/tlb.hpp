@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace dbsim::mem {
@@ -60,6 +61,33 @@ class Tlb
     const TlbStats &stats() const { return stats_; }
 
     void reset();
+
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u64(stamp_);
+        w.u64(map_.size());
+        for (Addr vpage : snap::sortedKeys(map_)) {
+            w.u64(vpage);
+            w.u64(map_.at(vpage));
+        }
+        w.u64(stats_.accesses);
+        w.u64(stats_.misses);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        stamp_ = r.u64();
+        map_.clear();
+        const std::size_t n = r.length(16);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr vpage = r.u64();
+            map_[vpage] = r.u64();
+        }
+        stats_.accesses = r.u64();
+        stats_.misses = r.u64();
+    }
 
   private:
     std::uint32_t entries_;

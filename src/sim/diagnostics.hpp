@@ -68,6 +68,33 @@ class HostDeadlineScope
 };
 
 /**
+ * Loop-iteration stride at which System::run polls host-side conditions
+ * (the wall-clock deadline and the termination-signal flag).  Defaults
+ * to 4096; overridable via the DBSIM_DEADLINE_STRIDE environment
+ * variable (clamped to >= 1).  The stride only changes how fast the
+ * host notices a deadline or signal -- simulated behavior and reports
+ * are bitwise-identical at any stride (tested in test_checkpoint.cpp).
+ */
+std::uint32_t deadlinePollStride();
+
+/**
+ * Install the cooperative SIGINT/SIGTERM handler: the first signal sets
+ * a flag the run loop polls (writing a checkpoint and throwing
+ * SimInterruptedError); a second signal falls back to the default
+ * disposition (SA_RESETHAND), so a stuck process can still be killed.
+ * Opt-in: benchmarks with --checkpoint-dir install it; libraries and
+ * tests that own their own signal handling are unaffected.
+ */
+void installCheckpointSignalHandler();
+
+/** True when a termination signal has been received (and not consumed). */
+bool checkpointSignalPending();
+
+/** Consume the pending-signal flag; returns the signal number (0 if
+ *  none was pending). */
+int consumeCheckpointSignal();
+
+/**
  * Parse a nonnegative cycle count from environment variable @p name.
  * Returns 0 (feature disabled) when the variable is unset or empty.
  * Invalid values -- non-numeric text, trailing junk, negative numbers,

@@ -137,6 +137,71 @@ class Node : public cpu::CoreMemIf, public coher::CacheSite
 
     void resetStats();
 
+    void
+    saveState(snap::Writer &w) const
+    {
+        l1i_.saveState(w);
+        l1d_.saveState(w);
+        l2_.saveState(w);
+        l1d_mshr_.saveState(w);
+        l2_mshr_.saveState(w);
+        itlb_.saveState(w);
+        dtlb_.saveState(w);
+        sbuf_.saveState(w);
+        l2_port_.saveState(w);
+        w.u64(pending_cls_.size());
+        for (Addr block : snap::sortedKeys(pending_cls_)) {
+            w.u64(block);
+            w.u8(static_cast<std::uint8_t>(pending_cls_.at(block)));
+        }
+        w.u64(l1d_port_cycle_);
+        w.u32(l1d_ports_used_);
+        w.u64(stats_.l1i_fetches);
+        w.u64(stats_.l1i_misses);
+        w.u64(stats_.l1i_sbuf_hits);
+        w.u64(stats_.l1d_accesses);
+        w.u64(stats_.l1d_misses);
+        w.u64(stats_.l1d_delayed_hits);
+        w.u64(stats_.l2_accesses);
+        w.u64(stats_.l2_misses);
+        w.u64(stats_.l2_delayed_hits);
+        w.u64(stats_.prefetches_dropped);
+        w.u64(stats_.flush_hints);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        l1i_.restoreState(r);
+        l1d_.restoreState(r);
+        l2_.restoreState(r);
+        l1d_mshr_.restoreState(r);
+        l2_mshr_.restoreState(r);
+        itlb_.restoreState(r);
+        dtlb_.restoreState(r);
+        sbuf_.restoreState(r);
+        l2_port_.restoreState(r);
+        pending_cls_.clear();
+        const std::size_t n = r.length(9);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr block = r.u64();
+            pending_cls_[block] = static_cast<coher::AccessClass>(r.u8());
+        }
+        l1d_port_cycle_ = r.u64();
+        l1d_ports_used_ = r.u32();
+        stats_.l1i_fetches = r.u64();
+        stats_.l1i_misses = r.u64();
+        stats_.l1i_sbuf_hits = r.u64();
+        stats_.l1d_accesses = r.u64();
+        stats_.l1d_misses = r.u64();
+        stats_.l1d_delayed_hits = r.u64();
+        stats_.l2_accesses = r.u64();
+        stats_.l2_misses = r.u64();
+        stats_.l2_delayed_hits = r.u64();
+        stats_.prefetches_dropped = r.u64();
+        stats_.flush_hints = r.u64();
+    }
+
   private:
     /** L2 access shared by data, ifetch, and stream-buffer prefetch
      *  paths.  Performs the lookup, goes to the fabric on a miss, and

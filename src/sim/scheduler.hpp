@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "cpu/process.hpp"
 
@@ -77,6 +79,19 @@ class Scheduler
     }
 
     std::uint32_t numCpus() const { return static_cast<std::uint32_t>(queues_.size()); }
+
+    /**
+     * Serialize queue membership (as ProcIds) and the blocked heaps'
+     * backing vectors verbatim, so a restore reproduces the exact heap
+     * layout and therefore the exact future pop order.  Registration
+     * (`all`, affinity) is construction state and is not serialized.
+     */
+    void saveState(snap::Writer &w) const;
+
+    /** @p resolve maps a serialized ProcId to the live context. */
+    void
+    restoreState(snap::Reader &r,
+                 const std::function<cpu::ProcessContext *(ProcId)> &resolve);
 
   private:
     /** Min-heap element: earliest wake first, ties in block order. */

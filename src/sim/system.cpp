@@ -366,31 +366,96 @@ RunResult
 System::run(std::uint64_t max_instructions,
             std::uint64_t warmup_instructions)
 {
-    bool warmed = warmup_instructions == 0;
-    window_start_ = now_;
+    // Run-loop carry state: a restored run continues the interrupted
+    // run's warmup and watchdog bookkeeping instead of reinitializing
+    // (carry_valid_ is armed by deserializeState).
+    if (!carry_valid_) {
+        warmed_ = warmup_instructions == 0;
+        window_start_ = now_;
+        wd_last_retired_ = totalRetired();
+        wd_last_progress_ = now_;
+    }
+    carry_valid_ = false;
     const Cycles deadline = now_ + params_.max_cycles;
 
     // Optional progress tracing: DBSIM_DEBUG=<cycle interval>.
     const Cycles dbg_every = cyclesFromEnv("DBSIM_DEBUG");
     Cycles dbg_next = dbg_every;
 
-    // Forward-progress watchdog state.
-    std::uint64_t last_retired = totalRetired();
-    Cycles last_progress = now_;
+    // Periodic checkpoint cadence: always recomputed from the *current*
+    // interval (a checkpoint restores under any --checkpoint-interval).
+    if (params_.checkpoint_interval) {
+        ckpt_next_ =
+            (now_ / params_.checkpoint_interval + 1) *
+            params_.checkpoint_interval;
+    }
 
-    // Host-side per-item deadline (sweep fault isolation).  Armed is
-    // latched once: arming happens before run() on the same thread, and
-    // polling the wall clock every iteration would be measurable, so the
-    // check runs every few thousand loop iterations -- still sub-second
-    // reaction for any simulation actually making iterations.
+    // Host-side condition polling (sweep fault isolation + cooperative
+    // SIGINT/SIGTERM).  Polling the wall clock or the signal flag every
+    // iteration would be measurable, so the checks run every
+    // deadlinePollStride() loop iterations (DBSIM_DEADLINE_STRIDE;
+    // default 4096) -- still sub-second reaction for any simulation
+    // actually making iterations.  The stride never affects simulated
+    // behavior, only how fast the host notices.
     const bool deadline_armed = hostDeadlineArmed();
-    constexpr std::uint32_t kDeadlinePollInterval = 4096;
-    std::uint32_t deadline_poll = 0;
+    const std::uint32_t poll_stride = deadlinePollStride();
+    std::uint32_t poll_count = 0;
+
+    // Whether a terminal condition should leave a checkpoint behind.
+    const bool ckpt_on_unwind = !params_.checkpoint_path.empty();
+    bool stopped_early = false;
 
     while (sched_.anyIncomplete() && totalRetired() < max_instructions) {
-        if (deadline_armed && ++deadline_poll >= kDeadlinePollInterval) {
-            deadline_poll = 0;
-            if (hostDeadlineExpired()) {
+        // Early stop for bisection / restore tests: capture the state
+        // at the top of this iteration, before any epoch hashing or
+        // machine activity, so a restored run resumes at exactly the
+        // point an uninterrupted run would next act.
+        if (params_.stop_at_cycle && now_ >= params_.stop_at_cycle) {
+            if (ckpt_on_unwind)
+                saveCheckpoint(params_.checkpoint_path);
+            stopped_early = true;
+            break;
+        }
+
+        // Epoch state-hashing: one sample per boundary crossing.  Event
+        // skipping can jump several boundaries at once; every crossed
+        // boundary gets an entry (sharing one hash -- no event fired in
+        // between, so the machine state is the same at each).
+        if (params_.state_hash_interval && now_ >= epoch_next_) {
+            const std::uint64_t h = stateHash();
+            while (now_ >= epoch_next_) {
+                epoch_hashes_.push_back(EpochHash{epoch_next_, h});
+                epoch_next_ += params_.state_hash_interval;
+            }
+        }
+
+        if (params_.checkpoint_interval && ckpt_on_unwind &&
+            now_ >= ckpt_next_) {
+            saveCheckpoint(params_.checkpoint_path);
+            ckpt_next_ =
+                (now_ / params_.checkpoint_interval + 1) *
+                params_.checkpoint_interval;
+        }
+
+        if (++poll_count >= poll_stride) {
+            poll_count = 0;
+            if (checkpointSignalPending()) {
+                if (ckpt_on_unwind)
+                    saveCheckpoint(params_.checkpoint_path);
+                const int signo = consumeCheckpointSignal();
+                std::ostringstream msg;
+                msg << "termination signal " << signo
+                    << " received at cycle " << now_ << "; "
+                    << (ckpt_on_unwind ? "checkpoint written to " +
+                                             params_.checkpoint_path
+                                       : std::string("no checkpoint "
+                                                     "path configured"));
+                throw SimInterruptedError(msg.str(),
+                                          machineStateDump(*this));
+            }
+            if (deadline_armed && hostDeadlineExpired()) {
+                if (ckpt_on_unwind)
+                    saveCheckpoint(params_.checkpoint_path);
                 std::ostringstream msg;
                 msg << "host item deadline (" << hostDeadlineSeconds()
                     << "s) expired at cycle " << now_
@@ -406,17 +471,17 @@ System::run(std::uint64_t max_instructions,
         }
         if (params_.watchdog_cycles) {
             const std::uint64_t retired = totalRetired();
-            if (retired != last_retired) {
-                last_retired = retired;
-                last_progress = now_;
-            } else if (now_ - last_progress >= params_.watchdog_cycles) {
+            if (retired != wd_last_retired_) {
+                wd_last_retired_ = retired;
+                wd_last_progress_ = now_;
+            } else if (now_ - wd_last_progress_ >= params_.watchdog_cycles) {
                 // Livelock / deadlock: nothing retired anywhere for a
                 // whole window.  The machine-state dump (also attached
                 // by the panic path's crash-dump registry) names each
                 // CPU's run state, head stall, and wake horizon.
                 DBSIM_PANIC("forward-progress watchdog: no instruction "
                             "retired in ",
-                            now_ - last_progress, " cycles (window=",
+                            now_ - wd_last_progress_, " cycles (window=",
                             params_.watchdog_cycles,
                             "); machine is livelocked or deadlocked");
             }
@@ -464,9 +529,9 @@ System::run(std::uint64_t max_instructions,
             }
         }
 
-        if (!warmed && totalRetired() >= warmup_instructions) {
+        if (!warmed_ && totalRetired() >= warmup_instructions) {
             resetStats();
-            warmed = true;
+            warmed_ = true;
         }
 
         // Advance time, skipping cycles in which nothing can happen.
@@ -500,9 +565,9 @@ System::run(std::uint64_t max_instructions,
             // beyond the window must not leap over the no-progress
             // check (the retire that precedes a long block would reset
             // the baseline to the post-jump clock).
-            next = std::min(next,
-                            std::max(last_progress + params_.watchdog_cycles,
-                                     now_ + 1));
+            next = std::min(
+                next, std::max(wd_last_progress_ + params_.watchdog_cycles,
+                               now_ + 1));
         }
         if (next > now_ + 1) {
             for (auto &cs : cpus_)
@@ -511,14 +576,20 @@ System::run(std::uint64_t max_instructions,
         now_ = next;
     }
 
-    for (auto &cs : cpus_)
-        cs.node->finalizeStats(now_);
+    if (!stopped_early) {
+        for (auto &cs : cpus_)
+            cs.node->finalizeStats(now_);
 
-    // End-of-run integrity audit: settle any transactions recorded after
-    // the last in-loop audit, then verify the hierarchy can drain.
-    if (checker_) {
-        checker_->auditPending(fabric_, now_);
-        verifyQuiesced();
+        // End-of-run integrity audit: settle any transactions recorded
+        // after the last in-loop audit, then verify the hierarchy can
+        // drain.  Skipped on an early stop: the machine is deliberately
+        // mid-flight (outstanding MSHRs, running processes), and the
+        // occupancy finalization would perturb the state a restored run
+        // continues from.
+        if (checker_) {
+            checker_->auditPending(fabric_, now_);
+            verifyQuiesced();
+        }
     }
 
     RunResult r;
@@ -531,6 +602,7 @@ System::run(std::uint64_t max_instructions,
                 ? static_cast<double>(r.instructions) /
                       (static_cast<double>(r.cycles) * cpus_.size())
                 : 0.0;
+    r.epoch_hashes = epoch_hashes_;
     return r;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "cpu/process.hpp"
 #include "memory/page_map.hpp"
 #include "common/breakdown.hpp"
+#include "common/mutator.hpp"
+#include "common/snapshot.hpp"
 #include "sim/node.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/source.hpp"
@@ -58,11 +61,48 @@ struct SystemParams
     bool check_coherence = false;
 
     /**
+     * Epoch state-hashing: every state_hash_interval simulated cycles
+     * the run loop records an FNV-1a hash of the full serialized
+     * machine state (DESIGN.md §5g).  Hashing observes the machine
+     * without mutating it, so enabling it never changes a run's
+     * results.  0 disables.
+     */
+    Cycles state_hash_interval = 0;
+
+    /**
+     * Periodic checkpointing: every checkpoint_interval simulated
+     * cycles the run loop writes a checkpoint to checkpoint_path
+     * (atomically: tmp + rename).  Both knobs are host-side
+     * observation parameters -- they are excluded from the checkpoint
+     * config signature, so a checkpoint taken at one interval restores
+     * under any other.  0 / empty disables.
+     */
+    Cycles checkpoint_interval = 0;
+    std::string checkpoint_path;
+
+    /**
+     * Stop the run loop at the first iteration where now() >= this
+     * cycle (writing a checkpoint first when checkpoint_path is set).
+     * The machine is left mid-flight: the end-of-run quiescence audit
+     * is skipped and the partial-window RunResult is returned.  Used
+     * by the restore-determinism tests and the dbsim-diverge bisector.
+     * 0 disables.
+     */
+    Cycles stop_at_cycle = 0;
+
+    /**
      * Structured validation; throws ConfigError (common/errors.hpp)
      * naming the offending field if any parameter is out of bounds.
      * Called by the System constructor before any state is built.
      */
     void validate() const;
+};
+
+/** One epoch-hash sample: machine-state hash at an epoch boundary. */
+struct EpochHash
+{
+    Cycles epoch = 0;        ///< the boundary cycle the sample labels
+    std::uint64_t hash = 0;  ///< FNV-1a over the serialized machine
 };
 
 /** Results of a run (post-warmup window). */
@@ -72,6 +112,11 @@ struct RunResult
     std::uint64_t instructions = 0;  ///< instructions retired
     Breakdown breakdown;             ///< aggregated over all cores
     double ipc = 0.0;                ///< instructions / (cycles * cores)
+
+    /** Epoch hash samples (empty unless state_hash_interval is set).
+     *  A restored run carries the pre-restore samples forward, so the
+     *  full list matches an uninterrupted run's. */
+    std::vector<EpochHash> epoch_hashes;
 };
 
 /**
@@ -125,6 +170,66 @@ class System : public cpu::CoreEnvIf
     /** Total instructions retired since construction (incl. warmup). */
     std::uint64_t totalRetired() const;
 
+    // ----------------------------------------------------------------
+    // Checkpoint / restore (DESIGN.md §5g)
+    // ----------------------------------------------------------------
+
+    /**
+     * Serialize the complete architectural and micro-architectural
+     * machine state -- clock, run-loop carry state, lock table, CPU
+     * scheduling state, page map, fabric + directory, scheduler,
+     * checker, every node's hierarchy, every core's window, every
+     * process context and trace source -- in a fixed byte-stable order.
+     * Epoch/checkpoint bookkeeping is *not* included, so the bytes (and
+     * stateHash()) are insensitive to the observation knobs.
+     */
+    void serializeState(snap::Writer &w) const;
+
+    /**
+     * Inverse of serializeState().  The machine must have been built
+     * from a structurally identical configuration (same node count,
+     * cache geometry, process set); throws snap::SnapshotError
+     * otherwise.  Arms the run-loop carry state so the next run()
+     * continues mid-flight instead of reinitializing.
+     */
+    void deserializeState(snap::Reader &r);
+
+    /** FNV-1a 64 over the serializeState() byte stream. */
+    std::uint64_t stateHash() const;
+
+    /**
+     * Hash of the structural configuration (machine geometry + process
+     * placement).  Stored in checkpoint headers; restore refuses a
+     * checkpoint whose signature disagrees.  Host observation knobs
+     * (checkpoint/state-hash intervals, stop_at_cycle, paths) are
+     * excluded so a checkpoint restores under any of them.
+     */
+    std::uint64_t configSignature() const;
+
+    /** Write a checkpoint file (atomic tmp + rename).  Throws
+     *  snap::SnapshotError on I/O failure. */
+    void saveCheckpoint(const std::string &path) const;
+
+    /** Restore from a checkpoint file; validates magic, version,
+     *  config signature, and a whole-file integrity hash. */
+    void restoreCheckpoint(const std::string &path);
+
+    /** Epoch hash samples recorded so far (see state_hash_interval). */
+    const std::vector<EpochHash> &epochHashes() const
+    {
+        return epoch_hashes_;
+    }
+
+    /**
+     * Attach a protocol mutator to the coherence fabric (tests and the
+     * dbsim-diverge bisector only; nullptr detaches).  Caller owns the
+     * mutator and keeps it alive for the system's lifetime.
+     */
+    void attachMutator(const verify::ProtocolMutator *m)
+    {
+        fabric_.attachMutator(m);
+    }
+
     // CoreEnvIf
     bool lockIsFree(Addr addr, ProcId proc) const override;
     bool lockTryAcquire(Addr addr, ProcId proc) override;
@@ -172,6 +277,21 @@ class System : public cpu::CoreEnvIf
     Cycles now_ = 0;
     std::uint64_t retired_before_reset_ = 0;
     Cycles window_start_ = 0;
+
+    // Run-loop carry state.  Formerly locals of run(); promoted to
+    // members so a checkpoint captures them and a restored run()
+    // continues with the exact same watchdog/warmup decisions an
+    // uninterrupted run would have made (carry_valid_ gates the
+    // reinitialization at run() entry).
+    bool warmed_ = false;
+    std::uint64_t wd_last_retired_ = 0;
+    Cycles wd_last_progress_ = 0;
+    bool carry_valid_ = false;
+
+    // Epoch-hash / checkpoint bookkeeping (not part of the state hash).
+    Cycles epoch_next_ = 0;
+    Cycles ckpt_next_ = 0;
+    std::vector<EpochHash> epoch_hashes_;
 };
 
 } // namespace dbsim::sim

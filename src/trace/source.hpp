@@ -32,6 +32,23 @@ class TraceSource
      * @return false when the stream is exhausted.
      */
     virtual bool next(TraceRecord &out) = 0;
+
+    /**
+     * Serialize / restore the stream position for checkpointing.  The
+     * defaults throw: a System built on a non-checkpointable source
+     * still runs, it just cannot save or restore checkpoints.
+     */
+    virtual void
+    saveState(snap::Writer &) const
+    {
+        throw snap::SnapshotError("trace source is not checkpointable");
+    }
+
+    virtual void
+    restoreState(snap::Reader &)
+    {
+        throw snap::SnapshotError("trace source is not checkpointable");
+    }
 };
 
 /**
@@ -50,6 +67,22 @@ class VectorSource : public TraceSource
             return false;
         out = recs_[pos_++];
         return true;
+    }
+
+    void
+    saveState(snap::Writer &w) const override
+    {
+        w.u64(pos_); // the backing vector is construction state
+    }
+
+    void
+    restoreState(snap::Reader &r) override
+    {
+        const std::uint64_t pos = r.u64();
+        if (pos > recs_.size())
+            throw snap::SnapshotError("snapshot: VectorSource position "
+                                      "beyond backing vector");
+        pos_ = static_cast<std::size_t>(pos);
     }
 
   private:
@@ -81,6 +114,20 @@ class LimitSource : public TraceSource
 
     std::uint64_t delivered() const { return delivered_; }
 
+    void
+    saveState(snap::Writer &w) const override
+    {
+        w.u64(delivered_);
+        inner_->saveState(w);
+    }
+
+    void
+    restoreState(snap::Reader &r) override
+    {
+        delivered_ = r.u64();
+        inner_->restoreState(r);
+    }
+
   private:
     std::unique_ptr<TraceSource> inner_;
     std::uint64_t limit_;
@@ -105,6 +152,29 @@ class GeneratingSource : public TraceSource
         out = buffer_.front();
         buffer_.pop_front();
         return true;
+    }
+
+    /**
+     * Serialize the pending burst buffer.  Derived generators chain
+     * these from their overrides before their own generator state.
+     */
+    void
+    saveState(snap::Writer &w) const override
+    {
+        w.u64(buffer_.size());
+        for (const TraceRecord &rec : buffer_)
+            saveRecord(w, rec);
+        w.boolean(done_);
+    }
+
+    void
+    restoreState(snap::Reader &r) override
+    {
+        buffer_.clear();
+        const std::size_t n = r.length(28);
+        for (std::size_t i = 0; i < n; ++i)
+            buffer_.push_back(loadRecord(r));
+        done_ = r.boolean();
     }
 
   protected:

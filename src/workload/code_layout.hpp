@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "trace/record.hpp"
 
@@ -130,6 +131,41 @@ class TraceBuilder
 
     /** Current call depth (for tests). */
     std::size_t depth() const { return stack_.size(); }
+
+    /**
+     * Walk position only; the code layout, RNG, and sink are rebound at
+     * construction (the owning engine serializes its RNG itself).
+     */
+    void
+    saveState(snap::Writer &w) const
+    {
+        w.u32(cur_routine_);
+        w.u64(pc_);
+        w.u64(stack_.size());
+        for (const Frame &f : stack_) {
+            w.u32(f.routine);
+            w.u64(f.return_pc);
+        }
+        w.u64(emitted_);
+        w.f64(branch_credit_);
+    }
+
+    void
+    restoreState(snap::Reader &r)
+    {
+        cur_routine_ = r.u32();
+        pc_ = r.u64();
+        stack_.clear();
+        const std::size_t n = r.length(12);
+        for (std::size_t i = 0; i < n; ++i) {
+            Frame f;
+            f.routine = r.u32();
+            f.return_pc = r.u64();
+            stack_.push_back(f);
+        }
+        emitted_ = r.u64();
+        branch_credit_ = r.f64();
+    }
 
   private:
     void emit(trace::TraceRecord rec);

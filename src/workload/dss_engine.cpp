@@ -21,6 +21,27 @@ class DssProcessSource : public trace::GeneratingSource
     {
     }
 
+  public:
+    void
+    saveState(snap::Writer &w) const override
+    {
+        GeneratingSource::saveState(w);
+        rng_.saveState(w);
+        builder_.saveState(w);
+        w.u32(next_block_);
+        w.u32(end_block_);
+    }
+
+    void
+    restoreState(snap::Reader &r) override
+    {
+        GeneratingSource::restoreState(r);
+        rng_.restoreState(r);
+        builder_.restoreState(r);
+        next_block_ = r.u32();
+        end_block_ = r.u32();
+    }
+
   protected:
     void
     refill() override

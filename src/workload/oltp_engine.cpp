@@ -20,6 +20,29 @@ class OltpProcessSource : public trace::GeneratingSource
     {
     }
 
+  public:
+    void
+    saveState(snap::Writer &w) const override
+    {
+        GeneratingSource::saveState(w);
+        rng_.saveState(w);
+        builder_.saveState(w);
+        w.u64(txns_);
+        w.u64(hist_seq_);
+        w.u64(log_off_);
+    }
+
+    void
+    restoreState(snap::Reader &r) override
+    {
+        GeneratingSource::restoreState(r);
+        rng_.restoreState(r);
+        builder_.restoreState(r);
+        txns_ = r.u64();
+        hist_seq_ = r.u64();
+        log_off_ = r.u64();
+    }
+
   protected:
     void refill() override { transaction(); }
 

@@ -1,0 +1,27 @@
+// Seeded violations: a serialization body that writes host pointer
+// bits, a wall-clock value, and an unordered container in hash order.
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+struct Writer
+{
+    void u64(std::uint64_t);
+};
+
+class Table
+{
+  public:
+    void
+    saveState(Writer &w) const
+    {
+        w.u64(reinterpret_cast<std::uintptr_t>(this));
+        w.u64(static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()));
+        for (const auto &kv : table_)
+            w.u64(kv.first + kv.second);
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> table_;
+};

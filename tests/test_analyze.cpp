@@ -80,6 +80,8 @@ const SeededCase kSeeded[] = {
     {"convention_stdout", "convention-stdout", "bad.cpp", 1},
     {"convention_guard", "convention-include-guard", "bad.hpp", 1},
     {"convention_catch", "convention-catch-swallow", "bad.cpp", 1},
+    // pointer bits + wall clock + unsorted unordered iteration
+    {"checkpoint_purity", "checkpoint-purity", "bad.cpp", 3},
 };
 
 TEST(Analyze, EveryRuleCatchesItsSeededViolation)
@@ -241,7 +243,7 @@ TEST(Analyze, SarifHasThe210Shape)
 TEST(Analyze, RuleCatalogIsConsistent)
 {
     const auto &catalog = dbsim::analyze::ruleCatalog();
-    EXPECT_EQ(catalog.size(), 12u);
+    EXPECT_EQ(catalog.size(), 13u);
     for (const RuleInfo &r : catalog) {
         EXPECT_TRUE(dbsim::analyze::knownRule(r.id));
         EXPECT_FALSE(std::string(r.description).empty());

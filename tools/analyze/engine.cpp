@@ -33,6 +33,7 @@ families()
         {"layering", runLayeringRules, {kRuleLayerCycle, kRuleLayerOrder}},
         {"conventions", runConventionRules,
          {kRuleAssert, kRuleStdout, kRuleIncludeGuard, kRuleCatchSwallow}},
+        {"checkpoint", runCheckpointRules, {kRuleCheckpointPurity}},
     };
     return kFamilies;
 }
@@ -118,6 +119,10 @@ ruleCatalog()
         {kRuleCatchSwallow, "conventions",
          "catch (...) must rethrow, wrap the exception in a structured "
          "failure, or carry an allow() annotation."},
+        {kRuleCheckpointPurity, "checkpoint",
+         "Serialization bodies (saveState/serializeState/stateHash/...) "
+         "must stay byte-stable: no host pointer bits, no wall-clock "
+         "values, no unsorted unordered_* iteration (DESIGN.md §5g)."},
     };
     return kCatalog;
 }

@@ -41,11 +41,13 @@ inline constexpr char kRuleAssert[] = "convention-assert";
 inline constexpr char kRuleStdout[] = "convention-stdout";
 inline constexpr char kRuleIncludeGuard[] = "convention-include-guard";
 inline constexpr char kRuleCatchSwallow[] = "convention-catch-swallow";
+inline constexpr char kRuleCheckpointPurity[] = "checkpoint-purity";
 
 void runDeterminismRules(const Corpus &c, std::vector<RawFinding> &out);
 void runAccountingRules(const Corpus &c, std::vector<RawFinding> &out);
 void runLayeringRules(const Corpus &c, std::vector<RawFinding> &out);
 void runConventionRules(const Corpus &c, std::vector<RawFinding> &out);
+void runCheckpointRules(const Corpus &c, std::vector<RawFinding> &out);
 
 } // namespace dbsim::analyze
 

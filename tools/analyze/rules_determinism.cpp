@@ -64,7 +64,17 @@ checkUnorderedIteration(const Corpus &c, const SourceFile &f,
                 }
             }
             if (colon && close) {
-                for (std::size_t j = colon + 1; j < close; ++j) {
+                // snap::sortedKeys() is the sanctioned sorted-snapshot
+                // helper (common/snapshot.hpp): a range expression that
+                // routes the container through it is exactly the fix
+                // this rule's message demands, so it must not re-flag.
+                bool sanctioned = false;
+                for (std::size_t j = colon + 1; j < close; ++j)
+                    if (t[j].kind == Tok::Ident &&
+                        t[j].text == "sortedKeys")
+                        sanctioned = true;
+                for (std::size_t j = colon + 1; !sanctioned && j < close;
+                     ++j) {
                     if (t[j].kind == Tok::Ident &&
                         c.unordered_vars.count(t[j].text)) {
                         out.push_back(
